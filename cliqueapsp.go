@@ -1,0 +1,296 @@
+// Package cliqueapsp is a Go implementation of "Improved All-Pairs
+// Approximate Shortest Paths in Congested Clique" (Bui, Chandra, Chang,
+// Dory, Leitersdorf — PODC 2024), together with a round-accurate Congested
+// Clique simulator and every substrate the paper builds on: Lenzen-style
+// routing, sparse min-plus matrix products, Baswana–Sen and greedy spanners,
+// k-nearest β-hopsets, the bin/h-combination k-nearest algorithm, skeleton
+// graphs, and the weight-scaling reduction.
+//
+// The public API runs any of the paper's algorithms (or the baselines they
+// are compared against) on a weighted undirected graph and reports the
+// distance estimates together with the simulated round/message accounting:
+//
+//	g := cliqueapsp.NewGraph(4)
+//	_ = g.AddEdge(0, 1, 3)
+//	_ = g.AddEdge(1, 2, 1)
+//	_ = g.AddEdge(2, 3, 2)
+//	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgConstant})
+//
+// Algorithms always meet their round accounting; approximation guarantees
+// hold w.h.p. (the algorithms are Monte Carlo, like the paper's), and every
+// estimate dominates the true distances.
+package cliqueapsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/core"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// Inf marks an unreachable pair in distance matrices.
+const Inf = minplus.Inf
+
+// Graph is a weighted undirected input graph under construction. Nodes are
+// 0..n-1; edge weights are nonnegative integers (zero-weight edges are
+// handled via the paper's Theorem 2.1 reduction).
+type Graph struct {
+	inner *graph.Graph
+}
+
+// NewGraph returns an empty graph on n nodes (n ≥ 1).
+func NewGraph(n int) *Graph {
+	if n < 1 {
+		n = 1
+	}
+	return &Graph{inner: graph.New(n)}
+}
+
+// AddEdge adds the undirected edge {u,v} with weight w ≥ 0. Self loops,
+// out-of-range endpoints and negative weights are rejected.
+func (g *Graph) AddEdge(u, v int, w int64) error {
+	if u < 0 || u >= g.inner.N() || v < 0 || v >= g.inner.N() {
+		return fmt.Errorf("cliqueapsp: endpoint out of range: (%d,%d) with n=%d", u, v, g.inner.N())
+	}
+	if u == v {
+		return fmt.Errorf("cliqueapsp: self loop at node %d", u)
+	}
+	if w < 0 {
+		return fmt.Errorf("cliqueapsp: negative weight %d", w)
+	}
+	g.inner.AddEdge(u, v, w)
+	return nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.inner.N() }
+
+// NumEdges returns the number of edges added so far.
+func (g *Graph) NumEdges() int { return g.inner.NumEdges() }
+
+// Edge is one undirected edge of a Graph, with U < V.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Edges returns a copy of the graph's edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.inner.NumEdges())
+	for u := 0; u < g.inner.N(); u++ {
+		for _, a := range g.inner.Out(u) {
+			if u < a.To {
+				out = append(out, Edge{U: u, V: a.To, W: a.W})
+			}
+		}
+	}
+	return out
+}
+
+// Algorithm selects which algorithm Run executes.
+type Algorithm string
+
+const (
+	// AlgConstant is Theorem 1.1: (7⁴+ε)-approximation, O(log log log n)
+	// rounds, standard bandwidth. The default.
+	AlgConstant Algorithm = "constant"
+	// AlgTradeoff is Theorem 1.2: O(log^{2^-t} n)-approximation in O(t)
+	// rounds; set Options.T.
+	AlgTradeoff Algorithm = "tradeoff"
+	// AlgSmallDiameter is Theorem 7.1 (21-approximation, standard
+	// bandwidth), intended for small-weighted-diameter inputs.
+	AlgSmallDiameter Algorithm = "smalldiameter"
+	// AlgLargeBandwidth is Theorem 8.1: (7³+ε)-approximation in the
+	// Congested-Clique[log⁴n] model.
+	AlgLargeBandwidth Algorithm = "largebandwidth"
+	// AlgLogApprox is the Chechik–Zhang O(log n)-approximation baseline
+	// (Corollary 7.2): O(1) rounds via spanner broadcast.
+	AlgLogApprox Algorithm = "logapprox"
+	// AlgExact is the algebraic exact baseline: distance-product squaring at
+	// ⌈n^{1/3}⌉ rounds per product (CKK+19).
+	AlgExact Algorithm = "exact"
+)
+
+// Algorithms lists all supported algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgConstant, AlgTradeoff, AlgSmallDiameter,
+		AlgLargeBandwidth, AlgLogApprox, AlgExact}
+}
+
+// Options configures Run. The zero value selects AlgConstant with default
+// accuracy and seed.
+type Options struct {
+	// Algorithm to run; default AlgConstant.
+	Algorithm Algorithm
+	// T is the Theorem 1.2 tradeoff parameter (AlgTradeoff only; default 1).
+	T int
+	// Eps is the accuracy slack of the scaling stages (default 0.1).
+	Eps float64
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// BandwidthWords overrides the model bandwidth in words per ordered
+	// pair per round. 0 selects the algorithm's natural model (1 for the
+	// standard-model algorithms, ⌈log₂³n⌉ for AlgLargeBandwidth).
+	BandwidthWords int
+	// Deterministic makes the run fully deterministic (independent of Seed)
+	// by replacing the randomized hitting sets with a greedy set-cover
+	// construction, at O(k) extra rounds per skeleton stage and a log n
+	// (instead of log k) factor in the skeleton size bound.
+	Deterministic bool
+}
+
+// PhaseStat is the per-phase accounting of a run.
+type PhaseStat struct {
+	Name     string
+	Rounds   int64
+	Messages int64
+	Words    int64
+}
+
+// Result reports a run's output and its simulated cost.
+type Result struct {
+	// Distances[u][v] is node u's estimate of d(u,v); Inf if unreachable.
+	// Every entry is ≥ the true distance.
+	Distances [][]int64
+	// FactorBound is the proven approximation factor of the estimates.
+	FactorBound float64
+	// Rounds, Messages and Words are the total simulated communication.
+	Rounds   int64
+	Messages int64
+	Words    int64
+	// Phases breaks the accounting down by algorithm phase.
+	Phases []PhaseStat
+	// Violations lists any Congested Clique load-budget violations detected
+	// by the simulator (empty for sound runs).
+	Violations []string
+}
+
+// Run executes the selected algorithm on g and returns its result. Graphs
+// with zero-weight edges are handled transparently through the Theorem 2.1
+// reduction.
+func Run(g *Graph, opts Options) (*Result, error) {
+	if g == nil || g.inner == nil {
+		return nil, errors.New("cliqueapsp: nil graph")
+	}
+	if opts.Algorithm == "" {
+		opts.Algorithm = AlgConstant
+	}
+	if opts.Eps <= 0 {
+		opts.Eps = 0.1
+	}
+	if opts.T < 1 {
+		opts.T = 1
+	}
+	n := g.inner.N()
+	bw := opts.BandwidthWords
+	if bw <= 0 {
+		bw = 1
+		if opts.Algorithm == AlgLargeBandwidth {
+			l := math.Log2(float64(n))
+			bw = int(math.Ceil(l * l * l))
+			if bw < 1 {
+				bw = 1
+			}
+		}
+	}
+	cfg := core.Config{
+		Eps:           opts.Eps,
+		Rng:           rand.New(rand.NewSource(opts.Seed)),
+		Deterministic: opts.Deterministic,
+	}
+
+	var inner core.Algorithm
+	switch opts.Algorithm {
+	case AlgConstant:
+		inner = core.APSP
+	case AlgTradeoff:
+		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
+			return core.Tradeoff(c, gg, opts.T, cf)
+		}
+	case AlgSmallDiameter:
+		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
+			return core.SmallDiameterAPSP(c, gg, cf, false)
+		}
+	case AlgLargeBandwidth:
+		inner = core.LargeBandwidthAPSP
+	case AlgLogApprox:
+		inner = core.LogApprox
+	case AlgExact:
+		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
+			return core.ExactCliqueAPSP(c, gg), nil
+		}
+	default:
+		return nil, fmt.Errorf("cliqueapsp: unknown algorithm %q", opts.Algorithm)
+	}
+
+	clq := cc.New(n, bw)
+	est, err := core.WithZeroWeights(clq, g.inner, cfg, inner)
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(est, clq.Metrics()), nil
+}
+
+func buildResult(est core.Estimate, m cc.Metrics) *Result {
+	n := est.D.N()
+	dist := make([][]int64, n)
+	for u := 0; u < n; u++ {
+		dist[u] = append([]int64(nil), est.D.Row(u)...)
+	}
+	res := &Result{
+		Distances:   dist,
+		FactorBound: est.Factor,
+		Rounds:      m.Rounds,
+		Messages:    m.Messages,
+		Words:       m.Words,
+		Violations:  append([]string(nil), m.Violations...),
+	}
+	for _, p := range m.Phases {
+		res.Phases = append(res.Phases, PhaseStat{
+			Name: p.Name, Rounds: p.Rounds, Messages: p.Messages, Words: p.Words,
+		})
+	}
+	return res
+}
+
+// Exact returns the exact distance matrix of g, computed centrally (no
+// simulated rounds) — the ground truth for Evaluate.
+func Exact(g *Graph) [][]int64 {
+	d := g.inner.ExactAPSP()
+	out := make([][]int64, g.inner.N())
+	for u := range out {
+		out[u] = append([]int64(nil), d.Row(u)...)
+	}
+	return out
+}
+
+// Quality summarizes estimate quality against exact distances.
+type Quality struct {
+	// MaxRatio and MeanRatio are the worst and average estimate/exact ratio
+	// over connected pairs.
+	MaxRatio  float64
+	MeanRatio float64
+	// Underruns counts entries below the true distance (0 for sound runs).
+	Underruns int
+}
+
+// Evaluate compares estimates (as returned in Result.Distances) against the
+// exact distances of g.
+func Evaluate(g *Graph, distances [][]int64) (Quality, error) {
+	n := g.inner.N()
+	if len(distances) != n {
+		return Quality{}, fmt.Errorf("cliqueapsp: %d rows for %d nodes", len(distances), n)
+	}
+	for u, row := range distances {
+		if len(row) != n {
+			return Quality{}, fmt.Errorf("cliqueapsp: row %d has %d entries, want %d", u, len(row), n)
+		}
+	}
+	maxR, meanR, under := core.MeasureQuality(minplus.FromRows(distances), g.inner.ExactAPSP())
+	return Quality{MaxRatio: maxR, MeanRatio: meanR, Underruns: under}, nil
+}

@@ -1,0 +1,249 @@
+package cliqueapsp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithmsSoundness(t *testing.T) {
+	g := RandomGraph(64, 30, 7)
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			res, err := Run(g, Options{Algorithm: alg, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("violations: %v", res.Violations)
+			}
+			q, err := Evaluate(g, res.Distances)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Underruns != 0 {
+				t.Fatalf("%d underruns", q.Underruns)
+			}
+			if q.MaxRatio > res.FactorBound+1e-9 {
+				t.Fatalf("max ratio %.3f exceeds proven bound %.3f", q.MaxRatio, res.FactorBound)
+			}
+			if res.Rounds < 1 {
+				t.Fatal("no rounds charged")
+			}
+		})
+	}
+}
+
+func TestRunExactIsExact(t *testing.T) {
+	g := RandomGraph(40, 20, 1)
+	res, err := Run(g, Options{Algorithm: AlgExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Exact(g)
+	for u := range exact {
+		for v := range exact[u] {
+			if res.Distances[u][v] != exact[u][v] {
+				t.Fatalf("exact mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+	if res.FactorBound != 1 {
+		t.Fatalf("factor = %v, want 1", res.FactorBound)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	g := RandomGraph(48, 25, 2)
+	r1, err := Run(g, Options{Algorithm: AlgConstant, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, Options{Algorithm: AlgConstant, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rounds != r2.Rounds || r1.Messages != r2.Messages {
+		t.Fatalf("nondeterministic accounting: %v vs %v", r1.Rounds, r2.Rounds)
+	}
+	for u := range r1.Distances {
+		for v := range r1.Distances[u] {
+			if r1.Distances[u][v] != r2.Distances[u][v] {
+				t.Fatalf("nondeterministic estimate at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestRunZeroWeightsTransparent(t *testing.T) {
+	g, err := Generate("zeroclusters", 48, 1, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Algorithm: AlgConstant, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Evaluate(g, res.Distances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Underruns != 0 || q.MaxRatio > res.FactorBound {
+		t.Fatalf("quality %+v vs bound %v", q, res.FactorBound)
+	}
+}
+
+func TestRunTradeoffParameter(t *testing.T) {
+	g := RandomGraph(64, 30, 3)
+	for _, tt := range []int{1, 2, 3} {
+		res, err := Run(g, Options{Algorithm: AlgTradeoff, T: tt, Seed: 1})
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		q, err := Evaluate(g, res.Distances)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.MaxRatio > res.FactorBound+1e-9 {
+			t.Fatalf("t=%d: ratio %.3f exceeds bound %.3f", tt, q.MaxRatio, res.FactorBound)
+		}
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	if err := g.AddEdge(0, 1, -2); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := g.AddEdge(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.N() != 3 {
+		t.Fatalf("N=%d edges=%d", g.N(), g.NumEdges())
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	g := RandomGraph(10, 5, 1)
+	if _, err := Run(g, Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunNilGraph(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range Generators() {
+		g, err := Generate(name, 32, 1, 9, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() < 32 {
+			t.Fatalf("%s: %d nodes", name, g.N())
+		}
+	}
+	if _, err := Generate("bogus", 10, 1, 5, 1); err == nil {
+		t.Fatal("bogus generator accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := RandomGraph(8, 5, 1)
+	if _, err := Evaluate(g, make([][]int64, 3)); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	bad := make([][]int64, 8)
+	for i := range bad {
+		bad[i] = make([]int64, 7)
+	}
+	if _, err := Evaluate(g, bad); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestResultPhasesPopulated(t *testing.T) {
+	g := RandomGraph(48, 20, 6)
+	res, err := Run(g, Options{Algorithm: AlgConstant, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, p := range res.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"knearest", "skeleton"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing from %v", want, res.Phases)
+		}
+	}
+}
+
+func TestRunDeterministicModeSeedIndependent(t *testing.T) {
+	g := RandomGraph(64, 30, 21)
+	r1, err := Run(g, Options{Algorithm: AlgConstant, Seed: 1, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g, Options{Algorithm: AlgConstant, Seed: 999, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range r1.Distances {
+		for v := range r1.Distances[u] {
+			if r1.Distances[u][v] != r2.Distances[u][v] {
+				t.Fatalf("deterministic mode differs across seeds at (%d,%d)", u, v)
+			}
+		}
+	}
+	if r1.Rounds != r2.Rounds {
+		t.Fatalf("deterministic rounds differ: %d vs %d", r1.Rounds, r2.Rounds)
+	}
+	q, err := Evaluate(g, r1.Distances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Underruns != 0 || q.MaxRatio > r1.FactorBound+1e-9 {
+		t.Fatalf("deterministic quality %+v vs bound %v", q, r1.FactorBound)
+	}
+}
+
+func TestPublicGraphIORoundTrip(t *testing.T) {
+	g := RandomGraph(32, 20, 8)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: n=%d m=%d", got.N(), got.NumEdges())
+	}
+	e1, e2 := Exact(g), Exact(got)
+	for u := range e1 {
+		for v := range e1[u] {
+			if e1[u][v] != e2[u][v] {
+				t.Fatalf("distances changed at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestReadGraphRejectsDirected(t *testing.T) {
+	input := "c cliqueapsp directed graph\np 3 1\ne 0 1 5\n"
+	if _, err := ReadGraph(strings.NewReader(input)); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}

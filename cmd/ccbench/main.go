@@ -1,0 +1,68 @@
+// Command ccbench regenerates the experiment tables of EXPERIMENTS.md: one
+// experiment per theorem/lemma guarantee of the paper (t1..t9 for the
+// tables, f1/f2 for the figures — see DESIGN.md §4 for the index).
+//
+// Examples:
+//
+//	ccbench                  # run everything, plain text
+//	ccbench -exp t1,t2       # selected experiments
+//	ccbench -md > results.md # markdown output
+//	ccbench -quick           # small smoke-test sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/congestedclique/cliqueapsp/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (t1..t9,f1,f2) or 'all'")
+		sizes = flag.String("sizes", "", "comma-separated graph sizes (default per suite)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		md    = flag.Bool("md", false, "emit Markdown instead of plain text")
+	)
+	flag.Parse()
+
+	suite := experiments.Suite{Seed: *seed, Quick: *quick}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 2 {
+				fatal(fmt.Errorf("invalid size %q", part))
+			}
+			suite.Sizes = append(suite.Sizes, v)
+		}
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = nil
+		for _, part := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(part))
+		}
+	}
+
+	for _, id := range ids {
+		table, err := experiments.ByID(id, suite)
+		if err != nil {
+			fatal(err)
+		}
+		if *md {
+			fmt.Print(experiments.RenderMarkdown(table))
+		} else {
+			fmt.Println(experiments.Render(table))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccbench:", err)
+	os.Exit(1)
+}

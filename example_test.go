@@ -1,0 +1,59 @@
+package cliqueapsp_test
+
+import (
+	"fmt"
+	"log"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+)
+
+// The basic flow: build a graph, run an algorithm, read estimates.
+func ExampleRun() {
+	g := cliqueapsp.NewGraph(4)
+	_ = g.AddEdge(0, 1, 3)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(2, 3, 2)
+
+	// The exact baseline is deterministic, so its output is stable.
+	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("d(0,3) =", res.Distances[0][3])
+	fmt.Println("factor =", res.FactorBound)
+	// Output:
+	// d(0,3) = 6
+	// factor = 1
+}
+
+// Distance estimates translate directly into routing tables.
+func ExampleNextHopTables() {
+	g := cliqueapsp.NewGraph(3)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(0, 2, 10)
+
+	table, err := cliqueapsp.NextHopTables(g, cliqueapsp.Exact(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("next hop from 0 towards 2:", table[0][2])
+	// Output:
+	// next hop from 0 towards 2: 1
+}
+
+// Estimates from any algorithm can be scored against the exact distances.
+func ExampleEvaluate() {
+	g := cliqueapsp.RandomGraph(32, 20, 7)
+	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgExact})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := cliqueapsp.Evaluate(g, res.Distances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max ratio %.1f, underruns %d\n", q.MaxRatio, q.Underruns)
+	// Output:
+	// max ratio 1.0, underruns 0
+}

@@ -1,0 +1,62 @@
+// Liveengine demonstrates the goroutine-per-node Congested Clique engine:
+// every node runs its own goroutine, rounds are synchronized by a barrier,
+// and the per-pair bandwidth cap is enforced at send time — the model of
+// paper §2 mapped directly onto Go's concurrency primitives.
+//
+// The demo runs the synchronous distributed Bellman–Ford protocol from a
+// source node and compares its honest round count (Θ(hop radius)) against
+// the simulated cost of the paper's machinery on the same graph — the gap
+// is the paper's raison d'être.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+)
+
+func main() {
+	const n = 64
+	g, err := cliqueapsp.Generate("grid", n, 1, 9, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the live adjacency from the public edge list.
+	adj := make([][]cc.LiveArc, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], cc.LiveArc{To: e.V, W: e.W})
+		adj[e.V] = append(adj[e.V], cc.LiveArc{To: e.U, W: e.W})
+	}
+
+	engine := cc.NewLive(g.N(), 1)
+	dist, metrics, err := engine.SSSP(0, adj)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact := cliqueapsp.Exact(g)
+	mismatches := 0
+	for v := range dist {
+		if dist[v] != exact[0][v] {
+			mismatches++
+		}
+	}
+
+	fmt.Printf("goroutine-per-node SSSP on a %d-node grid:\n", g.N())
+	fmt.Printf("  physical rounds : %d (Θ(hop radius) — every round really ran)\n", metrics.Rounds)
+	fmt.Printf("  messages        : %d\n", metrics.Messages)
+	fmt.Printf("  exactness       : %d mismatches vs Dijkstra\n", mismatches)
+
+	// Contrast: the paper's pipeline computes *all* pairs in rounds
+	// independent of the hop radius.
+	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgLogApprox, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfor contrast, CZ22 approximate *APSP* on the same graph:\n")
+	fmt.Printf("  simulated rounds: %d for all %d sources at proven %.0fx\n",
+		res.Rounds, g.N(), res.FactorBound)
+}

@@ -1,0 +1,55 @@
+package cliqueapsp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+)
+
+// Generate returns a named standard workload graph. Supported generators:
+// "random" (Erdős–Rényi-style, average degree ~6), "grid", "ring" (cycle
+// plus chords), "clustered" (dense communities, heavy bridges), "powerlaw"
+// (preferential attachment), "path", "star", "complete", and "zeroclusters"
+// (groups joined internally by zero-weight edges — the Theorem 2.1
+// workload). Weights are uniform in [minW, maxW]; runs are reproducible per
+// seed. The returned graph may have slightly more than n nodes for "grid"
+// (rounded up to a full rectangle).
+func Generate(generator string, n int, minW, maxW int64, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cliqueapsp: invalid node count %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	wr := graph.WeightRange{Min: minW, Max: maxW}
+	if generator == "zeroclusters" {
+		g, _ := graph.ZeroClusters(n, max(2, n/8), wr, rng)
+		return &Graph{inner: g}, nil
+	}
+	g, err := graph.GeneratorByName(generator, n, wr, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{inner: g}, nil
+}
+
+// Generators lists the generator names accepted by Generate.
+func Generators() []string {
+	return []string{"random", "grid", "ring", "clustered", "powerlaw",
+		"path", "star", "complete", "zeroclusters"}
+}
+
+// RandomGraph is shorthand for Generate("random", …).
+func RandomGraph(n int, maxW int64, seed int64) *Graph {
+	g, err := Generate("random", n, 1, maxW, seed)
+	if err != nil {
+		panic(err) // unreachable: "random" is always valid for n ≥ 1
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

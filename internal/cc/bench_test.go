@@ -1,0 +1,36 @@
+package cc
+
+import "testing"
+
+func BenchmarkRoute(b *testing.B) {
+	c := New(256, 1)
+	msgs := make([]Message, 0, 256*16)
+	for u := 0; u < 256; u++ {
+		for j := 0; j < 16; j++ {
+			msgs = append(msgs, Message{From: u, To: (u + j + 1) % 256, Payload: []Word{1, 2}})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Route(msgs, RouteOpts{})
+	}
+}
+
+func BenchmarkLiveEngineRound(b *testing.B) {
+	e := NewLive(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := e.Run(func(ctx *NodeCtx) error {
+			for r := 0; r < 4; r++ {
+				if err := ctx.Send((ctx.ID()+1)%ctx.N(), 1); err != nil {
+					return err
+				}
+				ctx.EndRound()
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package cc
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ n, bw int }{{0, 1}, {-1, 1}, {4, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d): expected panic", tc.n, tc.bw)
+				}
+			}()
+			New(tc.n, tc.bw)
+		}()
+	}
+}
+
+func TestRouteDeliversAndSorts(t *testing.T) {
+	c := New(4, 1)
+	msgs := []Message{
+		{From: 2, To: 0, Payload: []Word{20}},
+		{From: 1, To: 0, Payload: []Word{10}},
+		{From: 3, To: 2, Payload: []Word{30}},
+	}
+	inbox := c.Route(msgs, RouteOpts{Note: "test"})
+	if len(inbox[0]) != 2 || inbox[0][0].From != 1 || inbox[0][1].From != 2 {
+		t.Fatalf("inbox[0] = %v", inbox[0])
+	}
+	if len(inbox[2]) != 1 || inbox[2][0].Payload[0] != 30 {
+		t.Fatalf("inbox[2] = %v", inbox[2])
+	}
+	if len(inbox[1]) != 0 || len(inbox[3]) != 0 {
+		t.Fatal("unexpected messages")
+	}
+}
+
+func TestRouteRoundChargeLenzen(t *testing.T) {
+	// n=4, bw=1: capacity 4 words/node/round. A node sending 8 words and a
+	// node receiving 8 words: ceil(8/4)+ceil(8/4) = 4 rounds.
+	c := New(4, 1)
+	base := c.Metrics().Rounds
+	var msgs []Message
+	for i := 0; i < 8; i++ {
+		msgs = append(msgs, Message{From: 0, To: 1, Payload: []Word{1}})
+	}
+	c.Route(msgs, RouteOpts{})
+	if got := c.Metrics().Rounds - base; got != 4 {
+		t.Fatalf("rounds = %d, want 4", got)
+	}
+}
+
+func TestRouteRoundChargeDuplicable(t *testing.T) {
+	// Duplicable routing charges 1 + ceil(maxRecv/capacity).
+	c := New(4, 1)
+	var msgs []Message
+	for i := 0; i < 8; i++ {
+		msgs = append(msgs, Message{From: 0, To: 1, Payload: []Word{1}})
+	}
+	base := c.Metrics().Rounds
+	c.Route(msgs, RouteOpts{Duplicable: true})
+	if got := c.Metrics().Rounds - base; got != 3 {
+		t.Fatalf("rounds = %d, want 3", got)
+	}
+}
+
+func TestRouteEmptyChargesNothing(t *testing.T) {
+	c := New(4, 1)
+	base := c.Metrics().Rounds
+	c.Route(nil, RouteOpts{})
+	if got := c.Metrics().Rounds - base; got != 0 {
+		t.Fatalf("rounds = %d, want 0", got)
+	}
+}
+
+func TestRouteBudgetViolation(t *testing.T) {
+	c := New(4, 1)
+	var msgs []Message
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, Message{From: i % 3, To: 3, Payload: []Word{1}})
+	}
+	c.Route(msgs, RouteOpts{RecvBudget: 4, Note: "overload"})
+	m := c.Metrics()
+	if len(m.Violations) != 1 {
+		t.Fatalf("violations = %v, want 1", m.Violations)
+	}
+}
+
+func TestRouteWithinBudgetNoViolation(t *testing.T) {
+	c := New(4, 1)
+	msgs := []Message{{From: 0, To: 1}}
+	c.Route(msgs, RouteOpts{RecvBudget: 4, SendBudget: 4})
+	if v := c.Metrics().Violations; len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestEmptyPayloadCountsOneWord(t *testing.T) {
+	c := New(2, 1)
+	c.Route([]Message{{From: 0, To: 1}}, RouteOpts{})
+	if got := c.Metrics().Words; got != 1 {
+		t.Fatalf("words = %d, want 1", got)
+	}
+}
+
+func TestBandwidthScalesCharges(t *testing.T) {
+	// Same traffic in a bandwidth-4 model costs fewer rounds.
+	mk := func(bw int) int64 {
+		c := New(4, bw)
+		var msgs []Message
+		for i := 0; i < 32; i++ {
+			msgs = append(msgs, Message{From: 0, To: 1, Payload: []Word{1}})
+		}
+		c.Route(msgs, RouteOpts{})
+		return c.Metrics().Rounds
+	}
+	if r1, r4 := mk(1), mk(4); r4 >= r1 {
+		t.Fatalf("bandwidth 4 (%d rounds) should beat bandwidth 1 (%d rounds)", r4, r1)
+	}
+}
+
+func TestBroadcastCharge(t *testing.T) {
+	c := New(4, 1)
+	base := c.Metrics().Rounds
+	c.Broadcast(8, "test")
+	// 1 + 2*ceil(8/4) = 5 rounds.
+	if got := c.Metrics().Rounds - base; got != 5 {
+		t.Fatalf("rounds = %d, want 5", got)
+	}
+	if got := c.Metrics().Words; got != 32 {
+		t.Fatalf("words = %d, want 32 (8 words to 4 nodes)", got)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	c := New(4, 1)
+	c.Phase("alpha")
+	c.ChargeRounds(3)
+	c.Phase("beta")
+	c.ChargeRounds(2)
+	c.Phase("alpha")
+	c.ChargeRounds(1)
+	m := c.Metrics()
+	if m.Rounds != 6 {
+		t.Fatalf("total rounds = %d, want 6", m.Rounds)
+	}
+	a, ok := m.PhaseByName("alpha")
+	if !ok || a.Rounds != 4 {
+		t.Fatalf("alpha rounds = %+v", a)
+	}
+	b, ok := m.PhaseByName("beta")
+	if !ok || b.Rounds != 2 {
+		t.Fatalf("beta rounds = %+v", b)
+	}
+}
+
+func TestParallelChargesMax(t *testing.T) {
+	c := New(8, 16)
+	c.Parallel(4, 4, "lanes", func(lane int, child *Clique) {
+		child.ChargeRounds(int64(lane + 1))
+	})
+	m := c.Metrics()
+	if m.Rounds != 4 {
+		t.Fatalf("rounds = %d, want max lane = 4", m.Rounds)
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}
+
+func TestParallelOversubscriptionViolates(t *testing.T) {
+	c := New(8, 4)
+	c.Parallel(4, 4, "too many", func(lane int, child *Clique) {})
+	if v := c.Metrics().Violations; len(v) != 1 {
+		t.Fatalf("violations = %v, want 1", v)
+	}
+}
+
+func TestSubcliqueLift(t *testing.T) {
+	// Parent n=16 bw=1 (capacity 16). Child m=4, bw=4: one child round routes
+	// 16 words per child node → 1 parent round per child round.
+	c := New(16, 1)
+	child, finish := c.Subclique(4, 4)
+	child.ChargeRounds(5)
+	finish()
+	if got := c.Metrics().Rounds; got != 5 {
+		t.Fatalf("parent rounds = %d, want 5", got)
+	}
+	// Child with more bandwidth than the parent can carry per round.
+	c2 := New(4, 1)
+	child2, finish2 := c2.Subclique(4, 8) // 32 words per child round, capacity 4
+	child2.ChargeRounds(2)
+	finish2()
+	if got := c2.Metrics().Rounds; got != 16 {
+		t.Fatalf("parent rounds = %d, want 16 (8x lift)", got)
+	}
+}
+
+func TestViolationsPropagateFromChildren(t *testing.T) {
+	c := New(8, 8)
+	c.Parallel(1, 4, "child", func(lane int, child *Clique) {
+		child.Violate("inner problem")
+	})
+	if v := c.Metrics().Violations; len(v) != 1 || v[0] != "inner problem" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestMetricsCopyIsolation(t *testing.T) {
+	c := New(2, 1)
+	m := c.Metrics()
+	m.Phases[0].Rounds = 999
+	if c.Metrics().Phases[0].Rounds == 999 {
+		t.Fatal("Metrics() must return a copy")
+	}
+}
+
+func TestSubcliquePanicsOnBadSize(t *testing.T) {
+	c := New(8, 1)
+	for _, m := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Subclique(%d) should panic", m)
+				}
+			}()
+			c.Subclique(m, 1)
+		}()
+	}
+}
+
+func TestBroadcastZeroVolume(t *testing.T) {
+	c := New(4, 1)
+	base := c.Metrics().Rounds
+	c.Broadcast(0, "empty")
+	if got := c.Metrics().Rounds - base; got != 1 {
+		t.Fatalf("zero-volume broadcast charged %d rounds, want 1", got)
+	}
+}
+
+func TestBroadcastNegativePanics(t *testing.T) {
+	c := New(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative broadcast volume should panic")
+		}
+	}()
+	c.Broadcast(-1, "bad")
+}
+
+func TestRoutePanicsOnBadEndpoint(t *testing.T) {
+	c := New(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad endpoint should panic")
+		}
+	}()
+	c.Route([]Message{{From: 0, To: 9}}, RouteOpts{})
+}
+
+func TestSelfMessagesAreFree(t *testing.T) {
+	c := New(4, 1)
+	base := c.Metrics()
+	inbox := c.Route([]Message{{From: 2, To: 2, Payload: []Word{7}}}, RouteOpts{})
+	m := c.Metrics()
+	if m.Rounds != base.Rounds || m.Messages != base.Messages {
+		t.Fatalf("self message charged: rounds %d→%d msgs %d→%d",
+			base.Rounds, m.Rounds, base.Messages, m.Messages)
+	}
+	if len(inbox[2]) != 1 || inbox[2][0].Payload[0] != 7 {
+		t.Fatalf("self message not delivered: %v", inbox[2])
+	}
+}
+
+func TestChargeRoundsNegativePanics(t *testing.T) {
+	c := New(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge should panic")
+		}
+	}()
+	c.ChargeRounds(-1)
+}
+
+func TestPhaseLoadTracking(t *testing.T) {
+	c := New(4, 1)
+	c.Phase("loads")
+	var msgs []Message
+	for i := 0; i < 6; i++ {
+		msgs = append(msgs, Message{From: 0, To: 1, Payload: []Word{1, 2}})
+	}
+	c.Route(msgs, RouteOpts{})
+	p, ok := c.Metrics().PhaseByName("loads")
+	if !ok {
+		t.Fatal("phase missing")
+	}
+	if p.MaxSend != 12 || p.MaxRecv != 12 {
+		t.Fatalf("loads = %d/%d, want 12/12", p.MaxSend, p.MaxRecv)
+	}
+}
+
+func TestLiveEngineReusable(t *testing.T) {
+	e := NewLive(4, 1)
+	for run := 0; run < 3; run++ {
+		m, err := e.Run(func(ctx *NodeCtx) error {
+			if ctx.ID() == 0 {
+				if err := ctx.Send(1, Word(run)); err != nil {
+					return err
+				}
+			}
+			ctx.EndRound()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if m.Rounds != 1 {
+			t.Fatalf("run %d: rounds = %d", run, m.Rounds)
+		}
+	}
+}
+
+func TestPropertyRouteChargeMonotoneInLoad(t *testing.T) {
+	// More traffic never costs fewer rounds.
+	prev := int64(0)
+	for load := 1; load <= 64; load *= 2 {
+		c := New(8, 1)
+		var msgs []Message
+		for i := 0; i < load; i++ {
+			msgs = append(msgs, Message{From: 0, To: 1, Payload: []Word{1}})
+		}
+		c.Route(msgs, RouteOpts{})
+		r := c.Metrics().Rounds
+		if r < prev {
+			t.Fatalf("load %d charged %d rounds, less than previous %d", load, r, prev)
+		}
+		prev = r
+	}
+}

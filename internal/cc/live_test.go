@@ -1,0 +1,281 @@
+package cc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestGlobalMin(t *testing.T) {
+	e := NewLive(8, 1)
+	values := []Word{17, 3, 99, 42, 3, 61, 8, 25}
+	got, metrics, err := e.GlobalMin(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range got {
+		if v != 3 {
+			t.Fatalf("node %d computed %d, want 3", id, v)
+		}
+	}
+	if metrics.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", metrics.Rounds)
+	}
+	if metrics.Messages != 8*7 {
+		t.Fatalf("messages = %d, want 56", metrics.Messages)
+	}
+}
+
+func TestGlobalMinSizeMismatch(t *testing.T) {
+	e := NewLive(4, 1)
+	if _, _, err := e.GlobalMin([]Word{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLiveBandwidthEnforced(t *testing.T) {
+	e := NewLive(2, 1)
+	_, err := e.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 0 {
+			if err := ctx.Send(1, 1); err != nil {
+				return err
+			}
+			// Second word to the same peer in the same round must fail.
+			if err := ctx.Send(1, 2); err == nil {
+				return errors.New("bandwidth cap not enforced")
+			}
+		}
+		ctx.EndRound()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveBandwidthResetsPerRound(t *testing.T) {
+	e := NewLive(2, 1)
+	out := make([]Word, 2)
+	_, err := e.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 0 {
+			if err := ctx.Send(1, 7); err != nil {
+				return err
+			}
+		}
+		ctx.EndRound()
+		if ctx.ID() == 0 {
+			if err := ctx.Send(1, 8); err != nil {
+				return err
+			}
+		}
+		msgs := ctx.EndRound()
+		if ctx.ID() == 1 && len(msgs) == 1 {
+			out[1] = msgs[0].Payload[0]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != 8 {
+		t.Fatalf("round-2 payload = %d, want 8", out[1])
+	}
+}
+
+func TestLiveSendValidation(t *testing.T) {
+	e := NewLive(2, 1)
+	_, err := e.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 0 {
+			if err := ctx.Send(5, 1); err == nil {
+				return errors.New("expected invalid destination error")
+			}
+			if err := ctx.Send(0, 1); err == nil {
+				return errors.New("expected self-send error")
+			}
+		}
+		ctx.EndRound()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveErrorPropagates(t *testing.T) {
+	e := NewLive(4, 1)
+	boom := errors.New("boom")
+	_, err := e.Run(func(ctx *NodeCtx) error {
+		if ctx.ID() == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestLiveEarlyLeaverDoesNotDeadlock(t *testing.T) {
+	// Node 0 runs one round; the others run two.
+	e := NewLive(4, 1)
+	_, err := e.Run(func(ctx *NodeCtx) error {
+		ctx.EndRound()
+		if ctx.ID() == 0 {
+			return nil
+		}
+		ctx.EndRound()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelComponents(t *testing.T) {
+	// Components {0,1,2}, {3,4}, {5}.
+	adj := [][]int{
+		{1}, {0, 2}, {1},
+		{4}, {3},
+		{},
+	}
+	e := NewLive(6, 1)
+	labels, metrics, err := e.LabelComponents(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 3, 3, 5}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+	if metrics.Rounds == 0 {
+		t.Fatal("expected rounds > 0")
+	}
+}
+
+func TestLabelComponentsRandomAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(20)
+		adj := make([][]int, n)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		edges := rng.Intn(2 * n)
+		for i := 0; i < edges; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+			parent[find(u)] = find(v)
+		}
+		e := NewLive(n, 1)
+		labels, _, err := e.LabelComponents(adj)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := find(u) == find(v)
+				if same != (labels[u] == labels[v]) {
+					t.Fatalf("trial %d: nodes %d,%d: union-find same=%v labels %d,%d",
+						trial, u, v, same, labels[u], labels[v])
+				}
+			}
+		}
+	}
+}
+
+func TestLiveMatchesSuperstepGlobalMin(t *testing.T) {
+	// Cross-engine validation: the live GlobalMin and a superstep
+	// formulation must agree on results and round count.
+	values := []Word{9, 4, 6, 2, 8}
+	n := len(values)
+
+	live := NewLive(n, 1)
+	liveOut, liveMetrics, err := live.GlobalMin(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(n, 1)
+	c.Phase("globalmin")
+	var msgs []Message
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from != to {
+				msgs = append(msgs, Message{From: from, To: to, Payload: []Word{values[from]}})
+			}
+		}
+	}
+	inbox := c.Route(msgs, RouteOpts{RecvBudget: int64(n)})
+	superOut := make([]Word, n)
+	for v := 0; v < n; v++ {
+		best := values[v]
+		for _, m := range inbox[v] {
+			if m.Payload[0] < best {
+				best = m.Payload[0]
+			}
+		}
+		superOut[v] = best
+	}
+	for v := range superOut {
+		if superOut[v] != liveOut[v] {
+			t.Fatalf("engines disagree at node %d: %d vs %d", v, superOut[v], liveOut[v])
+		}
+	}
+	// Lenzen charge for (n-1)-word loads is 2 rounds; the live engine used 1
+	// physical round. Both are O(1); assert they are within the documented
+	// constant of each other.
+	if c.Metrics().Rounds > 2*liveMetrics.Rounds+2 {
+		t.Fatalf("superstep charge %d too far from live rounds %d",
+			c.Metrics().Rounds, liveMetrics.Rounds)
+	}
+	if len(c.Metrics().Violations) != 0 {
+		t.Fatalf("violations: %v", c.Metrics().Violations)
+	}
+}
+
+func TestLiveManyNodesStress(t *testing.T) {
+	// 128 goroutine nodes, 3 rounds of all-to-all traffic.
+	n := 128
+	e := NewLive(n, 1)
+	metrics, err := e.Run(func(ctx *NodeCtx) error {
+		for r := 0; r < 3; r++ {
+			for v := 0; v < n; v++ {
+				if v == ctx.ID() {
+					continue
+				}
+				if err := ctx.Send(v, Word(ctx.ID()*10+r)); err != nil {
+					return err
+				}
+			}
+			msgs := ctx.EndRound()
+			if len(msgs) != n-1 {
+				return fmt.Errorf("round %d: got %d messages, want %d", r, len(msgs), n-1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", metrics.Rounds)
+	}
+	if metrics.Messages != int64(3*n*(n-1)) {
+		t.Fatalf("messages = %d, want %d", metrics.Messages, 3*n*(n-1))
+	}
+}

@@ -1,0 +1,221 @@
+package cc
+
+import (
+	"fmt"
+
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// LiveArc is one weighted out-arc of the subgraph a live protocol runs on.
+type LiveArc struct {
+	To int
+	W  int64
+}
+
+// SSSP runs synchronous distributed Bellman–Ford from src over the given
+// weighted adjacency, goroutine-per-node: every round, each node whose
+// distance estimate improved announces the new value to its subgraph
+// neighbours (one word each); a convergence sub-protocol through node 0
+// ends the run. It returns every node's final distance to src.
+//
+// The protocol takes Θ(hop-radius) rounds — the honest cost of shortest
+// paths without the paper's machinery — and serves as a live-engine
+// cross-check for the simulated pipelines: its output must match Dijkstra
+// exactly.
+func (e *LiveEngine) SSSP(src int, adj [][]LiveArc) ([]int64, Metrics, error) {
+	if len(adj) != e.n {
+		return nil, Metrics{}, fmt.Errorf("cc: adjacency for %d nodes, engine has %d", len(adj), e.n)
+	}
+	if src < 0 || src >= e.n {
+		return nil, Metrics{}, fmt.Errorf("cc: invalid source %d", src)
+	}
+	// Deduplicate parallel arcs keeping the lightest: one word per neighbour
+	// per round.
+	nbrs := make([][]LiveArc, e.n)
+	for u, arcs := range adj {
+		best := make(map[int]int64, len(arcs))
+		for _, a := range arcs {
+			if a.To == u {
+				continue
+			}
+			if old, ok := best[a.To]; !ok || a.W < old {
+				best[a.To] = a.W
+			}
+		}
+		for to, w := range best {
+			nbrs[u] = append(nbrs[u], LiveArc{To: to, W: w})
+		}
+	}
+	out := make([]int64, e.n)
+	metrics, err := e.Run(func(ctx *NodeCtx) error {
+		id := ctx.ID()
+		dist := minplus.Inf
+		if id == src {
+			dist = 0
+		}
+		changed := true
+		for {
+			// Propagation round: announce improved estimates.
+			if changed && !minplus.IsInf(dist) {
+				for _, a := range nbrs[id] {
+					if err := ctx.Send(a.To, dist+a.W); err != nil {
+						return err
+					}
+				}
+			}
+			improved := Word(0)
+			for _, m := range ctx.EndRound() {
+				if m.Payload[0] < dist {
+					dist = m.Payload[0]
+					improved = 1
+				}
+			}
+			changed = improved == 1
+			// Convergence rounds: aggregate at node 0, broadcast verdict.
+			if id != 0 {
+				if err := ctx.Send(0, improved); err != nil {
+					return err
+				}
+			}
+			any := improved
+			msgs := ctx.EndRound()
+			if id == 0 {
+				for _, m := range msgs {
+					if m.Payload[0] == 1 {
+						any = 1
+					}
+				}
+				for v := 1; v < ctx.N(); v++ {
+					if err := ctx.Send(v, any); err != nil {
+						return err
+					}
+				}
+			}
+			verdict := any
+			msgs = ctx.EndRound()
+			if id != 0 {
+				if len(msgs) != 1 {
+					return fmt.Errorf("expected verdict, got %d messages", len(msgs))
+				}
+				verdict = msgs[0].Payload[0]
+			}
+			if verdict == 0 {
+				out[id] = dist
+				return nil
+			}
+		}
+	})
+	return out, metrics, err
+}
+
+// GlobalMin runs a one-round goroutine-per-node protocol in which every node
+// announces its value to all others and everyone computes the global
+// minimum. It returns the per-node results (all equal) and the run metrics.
+// It exists both as a minimal example of the live engine and as a
+// cross-validation fixture against the superstep engine.
+func (e *LiveEngine) GlobalMin(values []Word) ([]Word, Metrics, error) {
+	if len(values) != e.n {
+		return nil, Metrics{}, fmt.Errorf("cc: %d values for %d nodes", len(values), e.n)
+	}
+	out := make([]Word, e.n)
+	metrics, err := e.Run(func(ctx *NodeCtx) error {
+		for v := 0; v < ctx.N(); v++ {
+			if v == ctx.ID() {
+				continue
+			}
+			if err := ctx.Send(v, values[ctx.ID()]); err != nil {
+				return err
+			}
+		}
+		best := values[ctx.ID()]
+		for _, m := range ctx.EndRound() {
+			if m.Payload[0] < best {
+				best = m.Payload[0]
+			}
+		}
+		out[ctx.ID()] = best
+		return nil
+	})
+	return out, metrics, err
+}
+
+// LabelComponents runs deterministic minimum-label propagation over the
+// given subgraph adjacency (adj[u] lists u's subgraph neighbours) until
+// global convergence, detected by an aggregate-at-node-0 protocol each
+// iteration. It returns the component label of every node (the minimum node
+// ID in its component).
+//
+// This is the live-engine counterpart of the zero-weight component step of
+// Theorem 2.1; the main pipeline charges that step O(1) rounds per the
+// [Now21] MST black box, and tests use this protocol to cross-check the
+// component structure with honest round-by-round execution.
+func (e *LiveEngine) LabelComponents(adj [][]int) ([]int, Metrics, error) {
+	if len(adj) != e.n {
+		return nil, Metrics{}, fmt.Errorf("cc: adjacency for %d nodes, engine has %d", len(adj), e.n)
+	}
+	// Deduplicate neighbour lists: one label per neighbour per round.
+	nbrs := make([][]int, e.n)
+	for u, vs := range adj {
+		seen := make(map[int]bool, len(vs))
+		for _, v := range vs {
+			if v != u && !seen[v] {
+				seen[v] = true
+				nbrs[u] = append(nbrs[u], v)
+			}
+		}
+	}
+	out := make([]int, e.n)
+	metrics, err := e.Run(func(ctx *NodeCtx) error {
+		id := ctx.ID()
+		label := Word(id)
+		for {
+			// Propagation round: send current label to subgraph neighbours.
+			for _, v := range nbrs[id] {
+				if err := ctx.Send(v, label); err != nil {
+					return err
+				}
+			}
+			changed := Word(0)
+			for _, m := range ctx.EndRound() {
+				if m.Payload[0] < label {
+					label = m.Payload[0]
+					changed = 1
+				}
+			}
+			// Convergence round 1: report the changed bit to node 0.
+			if id != 0 {
+				if err := ctx.Send(0, changed); err != nil {
+					return err
+				}
+			}
+			anyChanged := changed
+			msgs := ctx.EndRound()
+			if id == 0 {
+				for _, m := range msgs {
+					if m.Payload[0] == 1 {
+						anyChanged = 1
+					}
+				}
+				// Convergence round 2: node 0 broadcasts the verdict.
+				for v := 1; v < ctx.N(); v++ {
+					if err := ctx.Send(v, anyChanged); err != nil {
+						return err
+					}
+				}
+			}
+			verdict := anyChanged
+			msgs = ctx.EndRound()
+			if id != 0 {
+				if len(msgs) != 1 {
+					return fmt.Errorf("expected verdict from node 0, got %d messages", len(msgs))
+				}
+				verdict = msgs[0].Payload[0]
+			}
+			if verdict == 0 {
+				out[id] = int(label)
+				return nil
+			}
+		}
+	})
+	return out, metrics, err
+}

@@ -1,0 +1,143 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// ring with chord arcs, plus a Dijkstra reference over the same arcs.
+func ssspFixture(n int, seed int64) ([][]LiveArc, func(src int) []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]LiveArc, n)
+	addEdge := func(u, v int, w int64) {
+		adj[u] = append(adj[u], LiveArc{To: v, W: w})
+		adj[v] = append(adj[v], LiveArc{To: u, W: w})
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n, int64(1+rng.Intn(9)))
+	}
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			addEdge(u, v, int64(1+rng.Intn(9)))
+		}
+	}
+	reference := func(src int) []int64 {
+		dist := make([]int64, n)
+		for i := range dist {
+			dist[i] = minplus.Inf
+		}
+		dist[src] = 0
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for u := 0; u < n; u++ {
+				if minplus.IsInf(dist[u]) {
+					continue
+				}
+				for _, a := range adj[u] {
+					if nd := dist[u] + a.W; nd < dist[a.To] {
+						dist[a.To] = nd
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		return dist
+	}
+	return adj, reference
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, n := range []int{8, 24, 48} {
+		adj, ref := ssspFixture(n, int64(n))
+		for _, src := range []int{0, n / 2, n - 1} {
+			e := NewLive(n, 1)
+			got, metrics, err := e.SSSP(src, adj)
+			if err != nil {
+				t.Fatalf("n=%d src=%d: %v", n, src, err)
+			}
+			want := ref(src)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("n=%d src=%d node %d: got %d want %d", n, src, v, got[v], want[v])
+				}
+			}
+			if metrics.Rounds < 3 {
+				t.Fatalf("implausibly few rounds: %d", metrics.Rounds)
+			}
+		}
+	}
+}
+
+func TestSSSPDisconnected(t *testing.T) {
+	adj := make([][]LiveArc, 4)
+	adj[0] = []LiveArc{{To: 1, W: 2}}
+	adj[1] = []LiveArc{{To: 0, W: 2}}
+	e := NewLive(4, 1)
+	got, _, err := e.SSSP(0, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 2 {
+		t.Fatalf("d(0,1) = %d, want 2", got[1])
+	}
+	if !minplus.IsInf(got[2]) || !minplus.IsInf(got[3]) {
+		t.Fatalf("unreachable nodes must stay Inf: %v", got)
+	}
+}
+
+func TestSSSPDuplicateArcs(t *testing.T) {
+	adj := make([][]LiveArc, 3)
+	adj[0] = []LiveArc{{To: 1, W: 9}, {To: 1, W: 2}, {To: 0, W: 1}}
+	adj[1] = []LiveArc{{To: 0, W: 2}, {To: 2, W: 3}}
+	adj[2] = []LiveArc{{To: 1, W: 3}}
+	e := NewLive(3, 1)
+	got, _, err := e.SSSP(0, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 2 || got[2] != 5 {
+		t.Fatalf("distances %v, want [0 2 5]", got)
+	}
+}
+
+func TestSSSPValidation(t *testing.T) {
+	e := NewLive(4, 1)
+	if _, _, err := e.SSSP(0, make([][]LiveArc, 3)); err == nil {
+		t.Fatal("wrong adjacency size accepted")
+	}
+	if _, _, err := e.SSSP(9, make([][]LiveArc, 4)); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+}
+
+func TestSSSPRoundsScaleWithHopRadius(t *testing.T) {
+	// A path needs ~n propagation rounds; a star needs O(1).
+	n := 24
+	path := make([][]LiveArc, n)
+	for i := 0; i+1 < n; i++ {
+		path[i] = append(path[i], LiveArc{To: i + 1, W: 1})
+		path[i+1] = append(path[i+1], LiveArc{To: i, W: 1})
+	}
+	star := make([][]LiveArc, n)
+	for i := 1; i < n; i++ {
+		star[0] = append(star[0], LiveArc{To: i, W: 1})
+		star[i] = append(star[i], LiveArc{To: 0, W: 1})
+	}
+	_, mPath, err := NewLive(n, 1).SSSP(0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mStar, err := NewLive(n, 1).SSSP(0, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPath.Rounds <= 2*mStar.Rounds {
+		t.Fatalf("path rounds (%d) should dwarf star rounds (%d)", mPath.Rounds, mStar.Rounds)
+	}
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+func testConfig(seed int64) Config {
+	return Config{Eps: 0.1, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// checkEstimate asserts soundness (no entry below the true distance) and the
+// proven factor, plus symmetry and a zero diagonal.
+func checkEstimate(t *testing.T, g *graph.Graph, est Estimate) {
+	t.Helper()
+	exact := g.ExactAPSP()
+	maxR, _, under := MeasureQuality(est.D, exact)
+	if under != 0 {
+		t.Fatalf("%d entries undercut the true distance", under)
+	}
+	if maxR > est.Factor+1e-9 {
+		t.Fatalf("measured ratio %.3f exceeds proven factor %.3f", maxR, est.Factor)
+	}
+	n := g.N()
+	for u := 0; u < n; u++ {
+		if est.D.At(u, u) != 0 {
+			t.Fatalf("nonzero diagonal at %d", u)
+		}
+		for v := 0; v < n; v++ {
+			if est.D.At(u, v) != est.D.At(v, u) {
+				t.Fatalf("asymmetric estimate at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func checkNoViolations(t *testing.T, clq *cc.Clique) {
+	t.Helper()
+	if v := clq.Metrics().Violations; len(v) != 0 {
+		t.Fatalf("model violations: %v", v)
+	}
+}
+
+func workloads(rng *rand.Rand, n int) map[string]*graph.Graph {
+	wr := graph.WeightRange{Min: 1, Max: 40}
+	return map[string]*graph.Graph{
+		"random":    graph.RandomConnected(n, 5, wr, rng),
+		"grid":      graph.Grid(n/8, 8, wr, rng),
+		"clustered": graph.Clustered(n, 4, 4, wr, rng),
+		"ring":      graph.RingChords(n, n/4, wr, rng),
+	}
+}
+
+func TestLogApproxGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for name, g := range workloads(rng, 64) {
+		clq := cc.New(g.N(), 1)
+		est, err := LogApprox(clq, g, testConfig(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEstimate(t, g, est)
+		checkNoViolations(t, clq)
+	}
+}
+
+func TestLogApproxOnCappedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := graph.RandomConnected(40, 4, graph.WeightRange{Min: 1, Max: 30}, rng)
+	g.SetCap(20)
+	clq := cc.New(g.N(), 1)
+	est, err := LogApprox(clq, g, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimate(t, g, est)
+}
+
+func TestBruteForceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := graph.RandomConnected(30, 4, graph.WeightRange{Min: 1, Max: 9}, rng)
+	clq := cc.New(g.N(), 1)
+	est := BruteForce(clq, g)
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("brute force not exact")
+	}
+	if est.Factor != 1 {
+		t.Fatalf("factor = %v, want 1", est.Factor)
+	}
+}
+
+func TestExactCliqueAPSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g := graph.RandomConnected(48, 4, graph.WeightRange{Min: 1, Max: 25}, rng)
+	clq := cc.New(g.N(), 1)
+	est := ExactCliqueAPSP(clq, g)
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("squaring baseline not exact")
+	}
+	// Round cost must reflect Θ(log n) products at ⌈n^{1/3}⌉ rounds each.
+	if r := clq.Metrics().Rounds; r < 8 {
+		t.Fatalf("rounds = %d, implausibly low for the algebraic baseline", r)
+	}
+}
+
+func TestReduceApproxImprovesAndStaysSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for name, g := range workloads(rng, 72) {
+		clq := cc.New(g.N(), 1)
+		cfg := testConfig(3)
+		est, err := LogApprox(clq, g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := est.Factor
+		exact := g.ExactAPSP()
+		maxBefore, _, _ := MeasureQuality(est.D, exact)
+		est, err = ReduceApprox(clq, g, est, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEstimate(t, g, est)
+		checkNoViolations(t, clq)
+		if est.Factor > before {
+			t.Fatalf("%s: factor regressed %v → %v", name, before, est.Factor)
+		}
+		maxAfter, _, _ := MeasureQuality(est.D, exact)
+		if maxAfter > maxBefore+1e-9 {
+			t.Fatalf("%s: measured quality regressed %.3f → %.3f", name, maxBefore, maxAfter)
+		}
+	}
+}
+
+func TestReduceApproxFromDegradedEstimate(t *testing.T) {
+	// Start from a deliberately bad (but valid) 9-approximation; one
+	// reduction must bring the measured ratio under its proven factor.
+	rng := rand.New(rand.NewSource(86))
+	g := graph.RandomConnected(60, 5, graph.WeightRange{Min: 1, Max: 20}, rng)
+	exact := g.ExactAPSP()
+	bad := exact.Clone()
+	bad.Scale(9)
+	bad.SetDiagZero()
+	est := Estimate{D: bad, Factor: 9}
+	clq := cc.New(g.N(), 1)
+	out, err := ReduceApprox(clq, g, est, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimate(t, g, out)
+	maxR, _, _ := MeasureQuality(out.D, exact)
+	if maxR >= 9 {
+		t.Fatalf("reduction did not improve measured ratio: %.3f", maxR)
+	}
+}
+
+func TestSmallDiameterAPSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for name, g := range workloads(rng, 64) {
+		for _, big := range []bool{false, true} {
+			clq := cc.New(g.N(), 8)
+			est, err := SmallDiameterAPSP(clq, g, testConfig(5), big)
+			if err != nil {
+				t.Fatalf("%s big=%v: %v", name, big, err)
+			}
+			checkEstimate(t, g, est)
+			checkNoViolations(t, clq)
+			if est.Factor > SmallDiameterPaperFactor(big)+1e-9 {
+				t.Fatalf("%s big=%v: factor %v exceeds paper bound", name, big, est.Factor)
+			}
+		}
+	}
+}
+
+func TestSmallDiameterRoundLimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g := graph.RandomConnected(64, 5, graph.WeightRange{Min: 1, Max: 30}, rng)
+	for t2 := 1; t2 <= 3; t2++ {
+		clq := cc.New(g.N(), 1)
+		cfg := testConfig(6)
+		cfg.MaxReduceIters = t2
+		est, err := SmallDiameterAPSP(clq, g, cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEstimate(t, g, est)
+	}
+}
+
+func TestLargeBandwidthAPSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for name, g := range workloads(rng, 64) {
+		clq := cc.New(g.N(), 256) // ≈ log³n words
+		est, err := LargeBandwidthAPSP(clq, g, testConfig(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEstimate(t, g, est)
+		if est.Factor > LargeBandwidthPaperFactor(0.1)+1e-9 {
+			t.Fatalf("%s: factor %v exceeds paper bound", name, est.Factor)
+		}
+	}
+}
+
+func TestGeneralAPSPTheorem11(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for name, g := range workloads(rng, 64) {
+		clq := cc.New(g.N(), 1)
+		est, err := APSP(clq, g, testConfig(8))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEstimate(t, g, est)
+		if est.Factor > GeneralPaperFactor(0.1)+1e-9 {
+			t.Fatalf("%s: factor %v exceeds paper bound %v",
+				name, est.Factor, GeneralPaperFactor(0.1))
+		}
+	}
+}
+
+func TestGeneralAPSPMultipleSeeds(t *testing.T) {
+	base := rand.New(rand.NewSource(91))
+	g := graph.RandomConnected(96, 5, graph.WeightRange{Min: 1, Max: 50}, base)
+	for seed := int64(0); seed < 5; seed++ {
+		clq := cc.New(g.N(), 1)
+		est, err := APSP(clq, g, testConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkEstimate(t, g, est)
+	}
+}
+
+func TestTradeoffTheorem12(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	g := graph.RandomConnected(80, 5, graph.WeightRange{Min: 1, Max: 40}, rng)
+	var prevRounds int64
+	for _, tt := range []int{1, 2, 3} {
+		clq := cc.New(g.N(), 1)
+		est, err := Tradeoff(clq, g, tt, testConfig(9))
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		checkEstimate(t, g, est)
+		r := clq.Metrics().Rounds
+		if prevRounds > 0 && r < prevRounds/4 {
+			t.Fatalf("t=%d: rounds %d shrank unexpectedly from %d", tt, r, prevRounds)
+		}
+		prevRounds = r
+	}
+}
+
+func TestWithZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	g, groups := graph.ZeroClusters(60, 8, graph.WeightRange{Min: 1, Max: 20}, rng)
+	clq := cc.New(g.N(), 1)
+	est, err := WithZeroWeights(clq, g, testConfig(10), func(c *cc.Clique, cg *graph.Graph, cfg Config) (Estimate, error) {
+		return BruteForce(c, cg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimate(t, g, est)
+	checkNoViolations(t, clq)
+	// Same-cluster pairs must be at distance 0.
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if groups[u] == groups[v] && est.D.At(u, v) != 0 {
+				t.Fatalf("same-cluster pair (%d,%d) at %d", u, v, est.D.At(u, v))
+			}
+		}
+	}
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("zero-weight wrapper with exact inner must be exact")
+	}
+}
+
+func TestWithZeroWeightsApproxInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	g, _ := graph.ZeroClusters(64, 6, graph.WeightRange{Min: 1, Max: 30}, rng)
+	clq := cc.New(g.N(), 1)
+	est, err := WithZeroWeights(clq, g, testConfig(11), func(c *cc.Clique, cg *graph.Graph, cfg Config) (Estimate, error) {
+		return APSP(c, cg, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEstimate(t, g, est)
+}
+
+func TestWithZeroWeightsNoZeroEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	g := graph.RandomConnected(30, 4, graph.WeightRange{Min: 1, Max: 9}, rng)
+	clq := cc.New(g.N(), 1)
+	est, err := WithZeroWeights(clq, g, testConfig(12), func(c *cc.Clique, cg *graph.Graph, cfg Config) (Estimate, error) {
+		return BruteForce(c, cg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("pass-through must be exact")
+	}
+}
+
+func TestWithZeroWeightsAllZero(t *testing.T) {
+	g := graph.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i, 0)
+	}
+	clq := cc.New(5, 1)
+	est, err := WithZeroWeights(clq, g, testConfig(13), func(c *cc.Clique, cg *graph.Graph, cfg Config) (Estimate, error) {
+		return BruteForce(c, cg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if est.D.At(u, v) != 0 {
+				t.Fatalf("all-zero graph: d(%d,%d)=%d", u, v, est.D.At(u, v))
+			}
+		}
+	}
+}
+
+func TestZeroComponentsMatchesLiveProtocol(t *testing.T) {
+	// Cross-check the union-find components (charged per [Now21]) against
+	// the honest goroutine-per-node label propagation protocol.
+	rng := rand.New(rand.NewSource(96))
+	g, _ := graph.ZeroClusters(40, 5, graph.WeightRange{Min: 1, Max: 9}, rng)
+	comp := zeroComponents(g)
+	adj := make([][]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, a := range g.Out(u) {
+			if a.W == 0 {
+				adj[u] = append(adj[u], a.To)
+			}
+		}
+	}
+	labels, _, err := cc.NewLive(g.N(), 1).LabelComponents(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range comp {
+		if comp[v] != labels[v] {
+			t.Fatalf("node %d: union-find %d vs live %d", v, comp[v], labels[v])
+		}
+	}
+}
+
+func TestValidateInputRejectsBadGraphs(t *testing.T) {
+	d := graph.NewDirected(4)
+	clq := cc.New(4, 1)
+	if _, err := LogApprox(clq, d, testConfig(1)); err == nil {
+		t.Fatal("directed input must error")
+	}
+	z := graph.New(4)
+	z.AddEdge(0, 1, 0)
+	if _, err := APSP(clq, z, testConfig(1)); err == nil {
+		t.Fatal("zero weights must error without the wrapper")
+	}
+}
+
+func TestMinCombine(t *testing.T) {
+	a := Estimate{D: minplus.NewDense(2), Factor: 5}
+	b := Estimate{D: minplus.NewDense(2), Factor: 3}
+	a.D.Set(0, 1, 10)
+	b.D.Set(0, 1, 7)
+	out := minCombine(a, b)
+	if out.Factor != 3 {
+		t.Fatalf("factor = %v, want 3", out.Factor)
+	}
+	if out.D.At(0, 1) != 7 {
+		t.Fatalf("entry = %d, want 7", out.D.At(0, 1))
+	}
+}
+
+func TestMeasureQuality(t *testing.T) {
+	exact := minplus.NewDense(3)
+	exact.SetDiagZero()
+	exact.Set(0, 1, 4)
+	exact.Set(1, 0, 4)
+	est := exact.Clone()
+	est.Set(0, 1, 8)
+	maxR, _, under := MeasureQuality(est, exact)
+	if maxR != 2 {
+		t.Fatalf("maxRatio = %v, want 2", maxR)
+	}
+	if under != 0 {
+		t.Fatalf("underruns = %d, want 0", under)
+	}
+	est.Set(1, 0, 1)
+	_, _, under = MeasureQuality(est, exact)
+	if under != 1 {
+		t.Fatalf("underruns = %d, want 1", under)
+	}
+}
+
+func TestPipelinesOnStarAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	star := graph.Star(40, graph.WeightRange{Min: 1, Max: 9}, rng)
+	complete := graph.Complete(24, graph.WeightRange{Min: 1, Max: 9}, rng)
+	for name, g := range map[string]*graph.Graph{"star": star, "complete": complete} {
+		clq := cc.New(g.N(), 1)
+		est, err := APSP(clq, g, testConfig(14))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEstimate(t, g, est)
+	}
+}
+
+func TestExactCliqueAPSPOnCappedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	g := graph.RandomConnected(24, 3, graph.WeightRange{Min: 1, Max: 30}, rng)
+	g.SetCap(12)
+	clq := cc.New(g.N(), 1)
+	est := ExactCliqueAPSP(clq, g)
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("capped exact squaring mismatch")
+	}
+}
+
+func TestWithZeroWeightsExactSquaringInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g, _ := graph.ZeroClusters(40, 5, graph.WeightRange{Min: 1, Max: 15}, rng)
+	clq := cc.New(g.N(), 1)
+	est, err := WithZeroWeights(clq, g, testConfig(15), func(c *cc.Clique, cg *graph.Graph, cf Config) (Estimate, error) {
+		return ExactCliqueAPSP(c, cg), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.D.Equal(g.ExactAPSP()) {
+		t.Fatal("zero-weight wrapper over exact squaring must be exact")
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := graph.New(1)
+	clq := cc.New(1, 1)
+	est, err := APSP(clq, g, testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.D.At(0, 0) != 0 {
+		t.Fatalf("d(0,0) = %d", est.D.At(0, 0))
+	}
+}
+
+func TestReduceIterationsSchedule(t *testing.T) {
+	// The paper's Θ(log log log n) schedule: nondecreasing, ≥1, tiny.
+	prev := 0
+	for _, n := range []int{4, 16, 256, 65536, 1 << 30} {
+		it := reduceIterations(n)
+		if it < 1 || it > 4 {
+			t.Fatalf("n=%d: iterations %d out of range", n, it)
+		}
+		if it < prev {
+			t.Fatalf("n=%d: schedule decreased", n)
+		}
+		prev = it
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Eps != 0.1 {
+		t.Fatalf("default eps = %v", cfg.Eps)
+	}
+	if cfg.Rng == nil {
+		t.Fatal("default rng missing")
+	}
+}
+
+func TestPaperFactorFormulas(t *testing.T) {
+	if got := GeneralPaperFactor(0); got != 2401 {
+		t.Fatalf("GeneralPaperFactor(0) = %v, want 2401", got)
+	}
+	if got := LargeBandwidthPaperFactor(0); got != 343 {
+		t.Fatalf("LargeBandwidthPaperFactor(0) = %v, want 343", got)
+	}
+	// Tradeoff shape: strictly decreasing in t.
+	prev := TradeoffPaperFactor(1<<20, 1, 0.1)
+	for tt := 2; tt <= 5; tt++ {
+		cur := TradeoffPaperFactor(1<<20, tt, 0.1)
+		if cur >= prev {
+			t.Fatalf("t=%d: factor %v not below %v", tt, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+)
+
+// TestIntegrationEverythingEverywhere is the repository's wide net: every
+// pipeline on every generator family on several seeds, asserting the three
+// universal invariants — soundness (no underruns), the proven factor, and a
+// violation-free simulation.
+func TestIntegrationEverythingEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	generators := []string{"random", "grid", "ring", "clustered", "powerlaw",
+		"path", "star", "regular", "hypercube"}
+	type pipeline struct {
+		name string
+		bw   int
+		run  func(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error)
+	}
+	pipelines := []pipeline{
+		{"logapprox", 1, LogApprox},
+		{"smalldiam", 1, func(c *cc.Clique, g *graph.Graph, cf Config) (Estimate, error) {
+			return SmallDiameterAPSP(c, g, cf, false)
+		}},
+		{"largebw", 128, LargeBandwidthAPSP},
+		{"thm11", 1, APSP},
+		{"tradeoff2", 1, func(c *cc.Clique, g *graph.Graph, cf Config) (Estimate, error) {
+			return Tradeoff(c, g, 2, cf)
+		}},
+	}
+	for _, gen := range generators {
+		for seed := int64(1); seed <= 2; seed++ {
+			rng := rand.New(rand.NewSource(seed * 31))
+			g, err := graph.GeneratorByName(gen, 48, graph.WeightRange{Min: 1, Max: 60}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := g.ExactAPSP()
+			for _, p := range pipelines {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", gen, p.name, seed), func(t *testing.T) {
+					clq := cc.New(g.N(), p.bw)
+					est, err := p.run(clq, g, Config{Eps: 0.1, Rng: rand.New(rand.NewSource(seed))})
+					if err != nil {
+						t.Fatal(err)
+					}
+					maxR, _, under := MeasureQuality(est.D, exact)
+					if under != 0 {
+						t.Fatalf("%d underruns", under)
+					}
+					if maxR > est.Factor+1e-9 {
+						t.Fatalf("measured %.3f exceeds proven %.3f", maxR, est.Factor)
+					}
+					if v := clq.Metrics().Violations; len(v) != 0 {
+						t.Fatalf("violations: %v", v)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIntegrationDeterministicSweep runs the deterministic mode across
+// generators: output must be seed-independent and sound.
+func TestIntegrationDeterministicSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, gen := range []string{"random", "clustered", "grid"} {
+		rng := rand.New(rand.NewSource(5))
+		g, err := graph.GeneratorByName(gen, 48, graph.WeightRange{Min: 1, Max: 40}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(seed int64) Estimate {
+			clq := cc.New(g.N(), 1)
+			est, err := APSP(clq, g, Config{
+				Eps: 0.1, Rng: rand.New(rand.NewSource(seed)), Deterministic: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		}
+		e1, e2 := run(1), run(77)
+		if !e1.D.Equal(e2.D) {
+			t.Fatalf("%s: deterministic outputs differ across seeds", gen)
+		}
+		maxR, _, under := MeasureQuality(e1.D, g.ExactAPSP())
+		if under != 0 || maxR > e1.Factor+1e-9 {
+			t.Fatalf("%s: quality max=%.3f factor=%.3f under=%d", gen, maxR, e1.Factor, under)
+		}
+	}
+}
+
+// TestIntegrationUnweightedGraphs covers the unweighted undirected setting
+// the paper's introduction highlights (unit weights).
+func TestIntegrationUnweightedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomConnected(64, 5, graph.UnitWeights, rng)
+	clq := cc.New(g.N(), 1)
+	est, err := APSP(clq, g, Config{Eps: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxR, _, under := MeasureQuality(est.D, g.ExactAPSP())
+	if under != 0 || maxR > est.Factor+1e-9 {
+		t.Fatalf("unweighted: max=%.3f factor=%.3f under=%d", maxR, est.Factor, under)
+	}
+}
+
+// TestIntegrationLargeWeights stresses the weight-scaling path with a wide
+// weight range (poly(n)-scale weights, the model's standing assumption).
+func TestIntegrationLargeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomConnected(48, 4, graph.WeightRange{Min: 1, Max: 1 << 20}, rng)
+	clq := cc.New(g.N(), 256)
+	est, err := LargeBandwidthAPSP(clq, g, Config{Eps: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxR, _, under := MeasureQuality(est.D, g.ExactAPSP())
+	if under != 0 || maxR > est.Factor+1e-9 {
+		t.Fatalf("large weights: max=%.3f factor=%.3f under=%d", maxR, est.Factor, under)
+	}
+}
+
+// TestIntegrationDisconnectedGraph: unreachable pairs must stay infinite
+// through the pipelines.
+func TestIntegrationDisconnectedGraph(t *testing.T) {
+	g := graph.New(20)
+	rng := rand.New(rand.NewSource(9))
+	// Two separate cliques of 10.
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			g.AddEdge(u, v, int64(1+rng.Intn(9)))
+			g.AddEdge(u+10, v+10, int64(1+rng.Intn(9)))
+		}
+	}
+	clq := cc.New(g.N(), 1)
+	est, err := LogApprox(clq, g, Config{Eps: 0.1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := g.ExactAPSP()
+	maxR, _, under := MeasureQuality(est.D, exact)
+	if under != 0 || maxR > est.Factor+1e-9 {
+		t.Fatalf("disconnected: max=%.3f under=%d", maxR, under)
+	}
+}

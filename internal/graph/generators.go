@@ -1,0 +1,407 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// WeightRange describes the inclusive range of random edge weights used by
+// the generators.
+type WeightRange struct {
+	Min, Max int64
+}
+
+func (r WeightRange) validate() WeightRange {
+	if r.Min <= 0 {
+		r.Min = 1
+	}
+	if r.Max < r.Min {
+		r.Max = r.Min
+	}
+	return r
+}
+
+func (r WeightRange) draw(rng *rand.Rand) int64 {
+	r = r.validate()
+	return r.Min + rng.Int63n(r.Max-r.Min+1)
+}
+
+// UnitWeights is the unweighted case (all weights 1).
+var UnitWeights = WeightRange{Min: 1, Max: 1}
+
+// spanningBackbone wires a random spanning tree so generated graphs are
+// connected: node i (i ≥ 1) attaches to a uniformly random earlier node.
+func spanningBackbone(g *Graph, wr WeightRange, rng *rand.Rand) map[[2]int]bool {
+	present := make(map[[2]int]bool, g.n)
+	perm := rng.Perm(g.n)
+	for i := 1; i < g.n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		g.AddEdge(u, v, wr.draw(rng))
+		present[edgeKey(u, v)] = true
+	}
+	return present
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// RandomConnected returns a connected undirected graph on n nodes with
+// roughly avgDeg average degree and random weights. It is the workhorse
+// workload of the benchmarks (the "arbitrary input graph G" of the model).
+func RandomConnected(n int, avgDeg float64, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n == 1 {
+		return g
+	}
+	present := spanningBackbone(g, wr, rng)
+	target := int(avgDeg * float64(n) / 2)
+	maxEdges := n * (n - 1) / 2
+	if target > maxEdges {
+		target = maxEdges
+	}
+	for g.NumEdges() < target {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		k := edgeKey(u, v)
+		if present[k] {
+			continue
+		}
+		present[k] = true
+		g.AddEdge(u, v, wr.draw(rng))
+	}
+	return g
+}
+
+// Grid returns a rows×cols grid graph with random weights — a high-diameter
+// workload where approximate APSP is hardest.
+func Grid(rows, cols int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), wr.draw(rng))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), wr.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// RingChords returns a cycle on n nodes plus `chords` random chord edges —
+// a low-degree, moderate-diameter workload.
+func RingChords(n, chords int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	present := make(map[[2]int]bool, n+chords)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if n == 2 && i == 1 {
+			break
+		}
+		g.AddEdge(i, j, wr.draw(rng))
+		present[edgeKey(i, j)] = true
+	}
+	for added := 0; added < chords; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || present[edgeKey(u, v)] {
+			added++ // avoid spinning forever on dense small graphs
+			continue
+		}
+		present[edgeKey(u, v)] = true
+		g.AddEdge(u, v, wr.draw(rng))
+		added++
+	}
+	return g
+}
+
+// Clustered returns a graph of `clusters` dense communities connected by a
+// sparse ring of heavier inter-cluster edges — the classic "hub networks"
+// workload where skeleton graphs shine.
+func Clustered(n, clusters int, intraDeg float64, wr WeightRange, rng *rand.Rand) *Graph {
+	if clusters < 1 {
+		clusters = 1
+	}
+	if clusters > n {
+		clusters = n
+	}
+	g := New(n)
+	size := n / clusters
+	bounds := make([][2]int, 0, clusters)
+	for c := 0; c < clusters; c++ {
+		lo := c * size
+		hi := lo + size
+		if c == clusters-1 {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	present := make(map[[2]int]bool)
+	for _, b := range bounds {
+		lo, hi := b[0], b[1]
+		// Spanning path inside the cluster.
+		for i := lo + 1; i < hi; i++ {
+			g.AddEdge(i-1, i, wr.draw(rng))
+			present[edgeKey(i-1, i)] = true
+		}
+		m := int(intraDeg * float64(hi-lo) / 2)
+		for tries := 0; tries < 4*m; tries++ {
+			if hi-lo < 2 {
+				break
+			}
+			u := lo + rng.Intn(hi-lo)
+			v := lo + rng.Intn(hi-lo)
+			if u == v || present[edgeKey(u, v)] {
+				continue
+			}
+			present[edgeKey(u, v)] = true
+			g.AddEdge(u, v, wr.draw(rng))
+		}
+	}
+	// Ring of inter-cluster bridges with heavier weights.
+	heavy := WeightRange{Min: wr.validate().Max, Max: 4 * wr.validate().Max}
+	for c := 0; c < clusters && clusters > 1; c++ {
+		b1, b2 := bounds[c], bounds[(c+1)%clusters]
+		u := b1[0] + rng.Intn(b1[1]-b1[0])
+		v := b2[0] + rng.Intn(b2[1]-b2[0])
+		if u == v || present[edgeKey(u, v)] {
+			continue
+		}
+		present[edgeKey(u, v)] = true
+		g.AddEdge(u, v, heavy.draw(rng))
+	}
+	if !g.IsConnected() {
+		// Degenerate cluster layout (tiny n): fall back to a backbone.
+		spanningBackboneAvoiding(g, present, wr, rng)
+	}
+	return g
+}
+
+func spanningBackboneAvoiding(g *Graph, present map[[2]int]bool, wr WeightRange, rng *rand.Rand) {
+	for i := 1; i < g.n; i++ {
+		k := edgeKey(i-1, i)
+		if present[k] {
+			continue
+		}
+		present[k] = true
+		g.AddEdge(i-1, i, wr.draw(rng))
+	}
+}
+
+// PreferentialAttachment returns a scale-free graph: each new node attaches
+// to `attach` existing nodes chosen proportionally to degree.
+func PreferentialAttachment(n, attach int, wr WeightRange, rng *rand.Rand) *Graph {
+	if attach < 1 {
+		attach = 1
+	}
+	g := New(n)
+	if n == 1 {
+		return g
+	}
+	// Repeated-endpoint sampling: pick a uniform element of the arc-endpoint
+	// multiset, which is degree-proportional.
+	endpoints := []int{0}
+	present := make(map[[2]int]bool)
+	for v := 1; v < n; v++ {
+		added := 0
+		for tries := 0; added < attach && tries < 8*attach; tries++ {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u == v || present[edgeKey(u, v)] {
+				continue
+			}
+			present[edgeKey(u, v)] = true
+			g.AddEdge(u, v, wr.draw(rng))
+			endpoints = append(endpoints, u, v)
+			added++
+		}
+		if added == 0 { // guarantee connectivity
+			u := v - 1
+			if !present[edgeKey(u, v)] {
+				present[edgeKey(u, v)] = true
+				g.AddEdge(u, v, wr.draw(rng))
+				endpoints = append(endpoints, u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a connected graph where every node has degree ≈ d,
+// built by the permutation-matching heuristic: d/2 random perfect matchings
+// over a random cycle backbone. Expander-like: low diameter at low degree.
+func RandomRegular(n, d int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	present := make(map[[2]int]bool, n*d/2)
+	// Cycle backbone guarantees connectivity and degree 2.
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		if u == v || present[edgeKey(u, v)] {
+			continue
+		}
+		present[edgeKey(u, v)] = true
+		g.AddEdge(u, v, wr.draw(rng))
+	}
+	for round := 2; round < d; round++ {
+		match := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			u, v := match[i], match[i+1]
+			if u == v || present[edgeKey(u, v)] {
+				continue
+			}
+			present[edgeKey(u, v)] = true
+			g.AddEdge(u, v, wr.draw(rng))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube (2^dim nodes) with random
+// weights — a classic structured low-diameter topology.
+func Hypercube(dim int, wr WeightRange, rng *rand.Rand) *Graph {
+	if dim < 1 {
+		dim = 1
+	}
+	n := 1 << uint(dim)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.AddEdge(u, v, wr.draw(rng))
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the path graph 0-1-...-n-1 — the worst case for hop counts.
+func Path(n int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, wr.draw(rng))
+	}
+	return g
+}
+
+// Star returns a star centered at node 0.
+func Star(n int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, wr.draw(rng))
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int, wr WeightRange, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v, wr.draw(rng))
+		}
+	}
+	return g
+}
+
+// ZeroClusters returns a graph of `clusters` groups internally connected by
+// zero-weight spanning trees, with positive-weight edges between groups —
+// the workload of Theorem 2.1 (nonnegative weights). The returned group
+// assignment maps node → cluster index.
+func ZeroClusters(n, clusters int, wr WeightRange, rng *rand.Rand) (*Graph, []int) {
+	if clusters < 1 {
+		clusters = 1
+	}
+	if clusters > n {
+		clusters = n
+	}
+	g := New(n)
+	group := make([]int, n)
+	for v := range group {
+		group[v] = v % clusters
+	}
+	members := make([][]int, clusters)
+	for v, c := range group {
+		members[c] = append(members[c], v)
+	}
+	for _, ms := range members {
+		for i := 1; i < len(ms); i++ {
+			g.AddEdge(ms[i-1], ms[i], 0)
+		}
+	}
+	// Connect cluster leaders in a ring plus random extra bridges.
+	for c := 0; c < clusters && clusters > 1; c++ {
+		u := members[c][0]
+		v := members[(c+1)%clusters][0]
+		g.AddEdge(u, v, wr.draw(rng))
+	}
+	extra := clusters
+	for i := 0; i < extra && clusters > 1; i++ {
+		c1, c2 := rng.Intn(clusters), rng.Intn(clusters)
+		if c1 == c2 {
+			continue
+		}
+		u := members[c1][rng.Intn(len(members[c1]))]
+		v := members[c2][rng.Intn(len(members[c2]))]
+		g.AddEdge(u, v, wr.draw(rng))
+	}
+	return g, group
+}
+
+// GeneratorByName returns a named standard workload, used by the CLI and the
+// experiment harness. Supported names: random, grid, ring, clustered,
+// powerlaw, path, star, complete.
+func GeneratorByName(name string, n int, wr WeightRange, rng *rand.Rand) (*Graph, error) {
+	switch name {
+	case "random":
+		return RandomConnected(n, 6, wr, rng), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, (n+side-1)/side, wr, rng), nil
+	case "ring":
+		return RingChords(n, n/4, wr, rng), nil
+	case "clustered":
+		return Clustered(n, max(2, n/16), 4, wr, rng), nil
+	case "powerlaw":
+		return PreferentialAttachment(n, 3, wr, rng), nil
+	case "regular":
+		return RandomRegular(n, 6, wr, rng), nil
+	case "hypercube":
+		dim := 1
+		for 1<<uint(dim) < n {
+			dim++
+		}
+		return Hypercube(dim, wr, rng), nil
+	case "path":
+		return Path(n, wr, rng), nil
+	case "star":
+		return Star(n, wr, rng), nil
+	case "complete":
+		return Complete(n, wr, rng), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q", name)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

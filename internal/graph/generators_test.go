@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGeneratorsProduceValidConnectedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	wr := WeightRange{Min: 1, Max: 100}
+	gens := []struct {
+		name string
+		f    func() *Graph
+	}{
+		{"random", func() *Graph { return RandomConnected(40, 5, wr, rng) }},
+		{"grid", func() *Graph { return Grid(6, 7, wr, rng) }},
+		{"ring", func() *Graph { return RingChords(40, 10, wr, rng) }},
+		{"clustered", func() *Graph { return Clustered(40, 4, 3, wr, rng) }},
+		{"powerlaw", func() *Graph { return PreferentialAttachment(40, 3, wr, rng) }},
+		{"path", func() *Graph { return Path(40, wr, rng) }},
+		{"star", func() *Graph { return Star(40, wr, rng) }},
+		{"complete", func() *Graph { return Complete(12, wr, rng) }},
+	}
+	for _, gen := range gens {
+		t.Run(gen.name, func(t *testing.T) {
+			g := gen.f()
+			if !g.IsConnected() {
+				t.Fatal("generated graph is not connected")
+			}
+			if err := g.RequirePositiveWeights(); err != nil {
+				t.Fatalf("invalid weights: %v", err)
+			}
+			for u := 0; u < g.N(); u++ {
+				for _, a := range g.Out(u) {
+					if a.W < wr.Min || a.W > 4*wr.Max {
+						t.Fatalf("weight %d outside range", a.W)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	wr := WeightRange{Min: 1, Max: 50}
+	g1 := RandomConnected(30, 4, wr, rand.New(rand.NewSource(7)))
+	g2 := RandomConnected(30, 4, wr, rand.New(rand.NewSource(7)))
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for u := 0; u < g1.N(); u++ {
+		a1, a2 := g1.Out(u), g2.Out(u)
+		if len(a1) != len(a2) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("node %d arc %d differs: %v vs %v", u, i, a1[i], a2[i])
+			}
+		}
+	}
+}
+
+func TestRandomConnectedTargetsDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomConnected(100, 8, WeightRange{Min: 1, Max: 10}, rng)
+	if got := g.NumEdges(); got < 350 || got > 450 {
+		t.Fatalf("edges = %d, want about 400", got)
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	g := Grid(3, 4, UnitWeights, rand.New(rand.NewSource(1)))
+	if g.N() != 12 {
+		t.Fatalf("N = %d, want 12", g.N())
+	}
+	// 3*3 horizontal + 2*4 vertical = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Fatalf("edges = %d, want 17", g.NumEdges())
+	}
+	// Grid diameter with unit weights: manhattan distance corner to corner.
+	d := g.Dijkstra(0)
+	if d[11] != 5 {
+		t.Fatalf("corner distance = %d, want 5", d[11])
+	}
+}
+
+func TestZeroClustersStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, group := ZeroClusters(30, 5, WeightRange{Min: 1, Max: 20}, rng)
+	if !g.IsConnected() {
+		t.Fatal("zero-cluster graph not connected")
+	}
+	if !g.HasZeroWeights() {
+		t.Fatal("expected zero weights")
+	}
+	apsp := g.ExactAPSP()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			same := group[u] == group[v]
+			zero := apsp.At(u, v) == 0
+			if same != zero {
+				t.Fatalf("nodes %d,%d: same cluster=%v but distance=%d",
+					u, v, same, apsp.At(u, v))
+			}
+		}
+	}
+}
+
+func TestGeneratorByName(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"random", "grid", "ring", "clustered", "powerlaw", "path", "star", "complete"} {
+		g, err := GeneratorByName(name, 24, WeightRange{Min: 1, Max: 10}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() < 24 {
+			t.Fatalf("%s: N = %d, want >= 24", name, g.N())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: not connected", name)
+		}
+	}
+	if _, err := GeneratorByName("nope", 10, UnitWeights, rng); err == nil {
+		t.Fatal("expected error for unknown generator")
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	wr := WeightRange{Min: 1, Max: 5}
+	for _, n := range []int{1, 2, 3} {
+		if g := RandomConnected(n, 3, wr, rng); !g.IsConnected() {
+			t.Fatalf("random n=%d disconnected", n)
+		}
+		if g := RingChords(n, 2, wr, rng); n >= 2 && !g.IsConnected() {
+			t.Fatalf("ring n=%d disconnected", n)
+		}
+		if g := Clustered(n, 2, 2, wr, rng); !g.IsConnected() {
+			t.Fatalf("clustered n=%d disconnected", n)
+		}
+		if g := PreferentialAttachment(n, 2, wr, rng); !g.IsConnected() {
+			t.Fatalf("powerlaw n=%d disconnected", n)
+		}
+	}
+}
+
+func TestWeightRangeDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	wr := WeightRange{Min: 5, Max: 7}
+	for i := 0; i < 100; i++ {
+		w := wr.draw(rng)
+		if w < 5 || w > 7 {
+			t.Fatalf("draw = %d outside [5,7]", w)
+		}
+	}
+	bad := WeightRange{Min: -3, Max: -5}
+	if w := bad.draw(rng); w != 1 {
+		t.Fatalf("invalid range should normalize to 1, got %d", w)
+	}
+}

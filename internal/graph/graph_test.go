@@ -1,0 +1,406 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.NumArcs() != 4 {
+		t.Fatalf("NumArcs = %d, want 4", g.NumArcs())
+	}
+	if g.Directed() {
+		t.Fatal("undirected graph reports directed")
+	}
+	if got := len(g.Out(1)); got != 2 {
+		t.Fatalf("deg(1) = %d, want 2", got)
+	}
+	if g.MaxWeight() != 5 {
+		t.Fatalf("MaxWeight = %d, want 5", g.MaxWeight())
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func()
+	}{
+		{"self loop", func() { New(3).AddEdge(1, 1, 1) }},
+		{"out of range", func() { New(3).AddEdge(0, 3, 1) }},
+		{"negative weight", func() { New(3).AddEdge(0, 1, -1) }},
+		{"arc on undirected", func() { New(3).AddArc(0, 1, 1) }},
+		{"edge on directed", func() { NewDirected(3).AddEdge(0, 1, 1) }},
+		{"zero nodes", func() { New(0) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func TestZeroWeightDetection(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if g.HasZeroWeights() {
+		t.Fatal("no zero weights expected")
+	}
+	if err := g.RequirePositiveWeights(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	g.AddEdge(1, 2, 0)
+	if !g.HasZeroWeights() {
+		t.Fatal("zero weight not detected")
+	}
+	if err := g.RequirePositiveWeights(); err == nil {
+		t.Fatal("expected error for zero weight")
+	}
+}
+
+func TestNormalizeMergesParallelArcs(t *testing.T) {
+	g := NewDirected(3)
+	g.AddArc(0, 1, 5)
+	g.AddArc(0, 1, 3)
+	g.AddArc(0, 2, 7)
+	g.Normalize()
+	out := g.Out(0)
+	if len(out) != 2 {
+		t.Fatalf("arcs after normalize = %v", out)
+	}
+	if out[0] != (Arc{To: 1, W: 3}) {
+		t.Fatalf("kept arc = %v, want min weight 3", out[0])
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("NumArcs = %d, want 2", g.NumArcs())
+	}
+}
+
+func TestUnionDirected(t *testing.T) {
+	a := NewDirected(3)
+	a.AddArc(0, 1, 5)
+	b := NewDirected(3)
+	b.AddArc(0, 1, 2)
+	b.AddArc(1, 2, 4)
+	u := UnionDirected(a, b)
+	if got := u.Out(0); len(got) != 1 || got[0].W != 2 {
+		t.Fatalf("union arc 0->1 = %v, want weight 2", got)
+	}
+	if got := u.Out(1); len(got) != 1 || got[0].To != 2 {
+		t.Fatalf("union arc 1->2 missing: %v", got)
+	}
+}
+
+func TestUnionDirectedCaps(t *testing.T) {
+	a := NewDirected(2)
+	a.SetCap(10)
+	b := NewDirected(2)
+	if got := UnionDirected(a, b).Cap(); got != 10 {
+		t.Fatalf("cap = %d, want 10", got)
+	}
+	b.SetCap(4)
+	if got := UnionDirected(a, b).Cap(); got != 4 {
+		t.Fatalf("cap = %d, want 4", got)
+	}
+}
+
+func TestDijkstraSimple(t *testing.T) {
+	// 0 -2- 1 -3- 2, plus direct 0-2 with weight 10: shortest is 5.
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 10)
+	d := g.Dijkstra(0)
+	want := []int64{0, 2, 5}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("d[%d] = %d, want %d", v, d[v], w)
+		}
+	}
+}
+
+func TestDijkstraDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	d := g.Dijkstra(0)
+	if !minplus.IsInf(d[2]) {
+		t.Fatalf("d[2] = %d, want Inf", d[2])
+	}
+}
+
+func TestDijkstraWithCap(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 9)
+	g.SetCap(5)
+	d := g.Dijkstra(0)
+	if d[1] != 2 {
+		t.Fatalf("d[1] = %d, want 2 (below cap)", d[1])
+	}
+	if d[2] != 5 {
+		t.Fatalf("d[2] = %d, want 5 (capped)", d[2])
+	}
+	if d[3] != 5 {
+		t.Fatalf("d[3] = %d, want 5 (cap reaches disconnected nodes)", d[3])
+	}
+	if d[0] != 0 {
+		t.Fatalf("d[0] = %d, want 0 (cap must not affect self)", d[0])
+	}
+}
+
+func TestHopLimitedMatchesDijkstraAtLargeHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomConnected(20, 3, WeightRange{Min: 1, Max: 20}, rng)
+		src := rng.Intn(g.N())
+		hl := g.HopLimited(src, g.N())
+		dj := g.Dijkstra(src)
+		for v := range hl {
+			if hl[v] != dj[v] {
+				t.Fatalf("trial %d: hop-limited(n) != dijkstra at %d: %d vs %d",
+					trial, v, hl[v], dj[v])
+			}
+		}
+	}
+}
+
+func TestHopLimitedRespectsHopBudget(t *testing.T) {
+	g := Path(5, UnitWeights, rand.New(rand.NewSource(1)))
+	d2 := g.HopLimited(0, 2)
+	if d2[2] != 2 {
+		t.Fatalf("2 hops should reach node 2: %d", d2[2])
+	}
+	if !minplus.IsInf(d2[3]) {
+		t.Fatalf("2 hops must not reach node 3: %d", d2[3])
+	}
+}
+
+func TestHopLimitedWithCap(t *testing.T) {
+	g := Path(5, UnitWeights, rand.New(rand.NewSource(1)))
+	g.SetCap(3)
+	d1 := g.HopLimited(0, 1)
+	if d1[4] != 3 {
+		t.Fatalf("cap arc gives 1-hop distance 3 to node 4, got %d", d1[4])
+	}
+	d0 := g.HopLimited(0, 0)
+	if !minplus.IsInf(d0[4]) {
+		t.Fatalf("0-hop distance to node 4 must be Inf, got %d", d0[4])
+	}
+}
+
+func TestExactAPSPAgreesWithDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := RandomConnected(30, 4, WeightRange{Min: 1, Max: 50}, rng)
+	apsp := g.ExactAPSP()
+	for _, src := range []int{0, 7, 29} {
+		d := g.Dijkstra(src)
+		for v := range d {
+			if apsp.At(src, v) != d[v] {
+				t.Fatalf("APSP[%d,%d] = %d, want %d", src, v, apsp.At(src, v), d[v])
+			}
+		}
+	}
+}
+
+func TestExactAPSPSymmetricOnUndirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := RandomConnected(25, 5, WeightRange{Min: 1, Max: 9}, rng)
+	apsp := g.ExactAPSP()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if apsp.At(u, v) != apsp.At(v, u) {
+				t.Fatalf("asymmetric APSP at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLightestOutNoCap(t *testing.T) {
+	g := NewDirected(5)
+	g.AddArc(0, 1, 5)
+	g.AddArc(0, 2, 3)
+	g.AddArc(0, 3, 5)
+	g.AddArc(0, 4, 9)
+	got := g.LightestOut(0, 3)
+	want := []Arc{{To: 2, W: 3}, {To: 1, W: 5}, {To: 3, W: 5}}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LightestOut = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLightestOutMergesParallel(t *testing.T) {
+	g := NewDirected(3)
+	g.AddArc(0, 1, 9)
+	g.AddArc(0, 1, 2)
+	got := g.LightestOut(0, 2)
+	if len(got) != 1 || got[0].W != 2 {
+		t.Fatalf("LightestOut = %v, want single arc of weight 2", got)
+	}
+}
+
+func TestLightestOutWithCap(t *testing.T) {
+	g := NewDirected(6)
+	g.AddArc(0, 3, 2)
+	g.AddArc(0, 5, 10) // above cap: clamped, competes by ID in cap band
+	g.SetCap(4)
+	got := g.LightestOut(0, 4)
+	want := []Arc{{To: 3, W: 2}, {To: 1, W: 4}, {To: 2, W: 4}, {To: 4, W: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("LightestOut = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LightestOut = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLightestOutCapAllNodes(t *testing.T) {
+	g := NewDirected(4)
+	g.SetCap(7)
+	got := g.LightestOut(2, 10)
+	want := []Arc{{To: 0, W: 7}, {To: 1, W: 7}, {To: 3, W: 7}}
+	if len(got) != len(want) {
+		t.Fatalf("LightestOut = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LightestOut = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNearestFrom(t *testing.T) {
+	dist := []int64{0, 4, 2, 4, Inf}
+	got := KNearestFrom(dist, 3)
+	want := []NodeDist{{Node: 0, Dist: 0}, {Node: 2, Dist: 2}, {Node: 1, Dist: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNearestIncludesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := RandomConnected(15, 3, WeightRange{Min: 1, Max: 10}, rng)
+	lists := g.KNearest(4)
+	for u, l := range lists {
+		if len(l) == 0 || l[0].Node != u || l[0].Dist != 0 {
+			t.Fatalf("node %d: first entry %v, want self at 0", u, l)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2, 2)
+	if g.NumEdges() != 1 {
+		t.Fatalf("clone mutation leaked into original")
+	}
+}
+
+func TestAsDirected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 4)
+	d := g.AsDirected()
+	if !d.Directed() {
+		t.Fatal("AsDirected not directed")
+	}
+	if len(d.Out(0)) != 1 || len(d.Out(1)) != 1 {
+		t.Fatal("AsDirected lost arcs")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	g.AddEdge(1, 2, 1)
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	h := New(2)
+	h.SetCap(5)
+	if !h.IsConnected() {
+		t.Fatal("capped graph must be connected")
+	}
+}
+
+func TestWeightedDiameter(t *testing.T) {
+	g := Path(4, UnitWeights, rand.New(rand.NewSource(1)))
+	if got := g.WeightedDiameter(); got != 3 {
+		t.Fatalf("diameter = %d, want 3", got)
+	}
+	h := New(2)
+	h.AddEdge(0, 1, 9)
+	if got := h.WeightedDiameter(); got != 9 {
+		t.Fatalf("diameter = %d, want 9", got)
+	}
+}
+
+func TestKNearestHops(t *testing.T) {
+	g := Path(6, UnitWeights, rand.New(rand.NewSource(2)))
+	lists := g.KNearestHops(3, 1)
+	// Within 1 hop, node 0 reaches itself and node 1 only.
+	if len(lists[0]) != 2 || lists[0][1].Node != 1 {
+		t.Fatalf("lists[0] = %v", lists[0])
+	}
+	lists = g.KNearestHops(3, 5)
+	if len(lists[0]) != 3 || lists[0][2].Node != 2 {
+		t.Fatalf("lists[0] = %v", lists[0])
+	}
+}
+
+func TestIsConnectedDirected(t *testing.T) {
+	g := NewDirected(3)
+	g.AddArc(0, 1, 1)
+	g.AddArc(2, 1, 1)
+	// Weakly connected (ignoring directions) even though not strongly.
+	if !g.IsConnected() {
+		t.Fatal("weakly connected directed graph reported disconnected")
+	}
+	h := NewDirected(3)
+	h.AddArc(0, 1, 1)
+	if h.IsConnected() {
+		t.Fatal("disconnected directed graph reported connected")
+	}
+}
+
+func TestSetCapValidation(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive cap should panic")
+		}
+	}()
+	g.SetCap(0)
+}

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// randomGraphFromSeed builds a reproducible random connected graph for
+// quick-check properties.
+func randomGraphFromSeed(seed int64, maxN int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(maxN-1)
+	return RandomConnected(n, 1+3*rng.Float64(), WeightRange{Min: 1, Max: 30}, rng)
+}
+
+func TestPropertyDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 24)
+		apsp := g.ExactAPSP()
+		n := g.N()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for w := 0; w < n; w++ {
+					duv, duw, dwv := apsp.At(u, v), apsp.At(u, w), apsp.At(w, v)
+					if minplus.IsInf(duw) || minplus.IsInf(dwv) {
+						continue
+					}
+					if duv > duw+dwv {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDijkstraMatchesHopUnlimitedBF(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 20)
+		src := int(uint64(seed) % uint64(g.N()))
+		dj := g.Dijkstra(src)
+		bf := g.HopLimited(src, g.N())
+		for v := range dj {
+			if dj[v] != bf[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHopLimitedMonotoneInHops(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 20)
+		src := int(uint64(seed) % uint64(g.N()))
+		prev := g.HopLimited(src, 1)
+		for h := 2; h <= 6; h++ {
+			cur := g.HopLimited(src, h)
+			for v := range cur {
+				if cur[v] > prev[v] {
+					return false // more hops can never lengthen paths
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLightestOutSortedAndDeduped(t *testing.T) {
+	f := func(seed int64, capped bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := NewDirected(n)
+		arcs := rng.Intn(4 * n)
+		for i := 0; i < arcs; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			g.AddArc(u, v, int64(1+rng.Intn(40)))
+		}
+		if capped {
+			g.SetCap(int64(1 + rng.Intn(40)))
+		}
+		for u := 0; u < n; u++ {
+			k := 1 + rng.Intn(n)
+			out := g.LightestOut(u, k)
+			if len(out) > k {
+				return false
+			}
+			seen := make(map[int]bool, len(out))
+			for i, a := range out {
+				if a.To == u || seen[a.To] {
+					return false
+				}
+				seen[a.To] = true
+				if g.Cap() > 0 && a.W > g.Cap() {
+					return false
+				}
+				if i > 0 {
+					prev := out[i-1]
+					if a.W < prev.W || (a.W == prev.W && a.To < prev.To) {
+						return false // must be (weight, ID) sorted
+					}
+				}
+			}
+			// With a cap, exactly min(k, n-1) arcs must exist.
+			if g.Cap() > 0 && len(out) != minInt(k, n-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLightestOutIsKSmallestOfEffectiveRow(t *testing.T) {
+	// LightestOut must agree with sorting the full effective out-row.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		g := NewDirected(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v, int64(1+rng.Intn(20)))
+			}
+		}
+		g.SetCap(int64(1 + rng.Intn(20)))
+		u := rng.Intn(n)
+		k := 1 + rng.Intn(n)
+		got := g.LightestOut(u, k)
+		// Build the effective row by brute force.
+		eff := make([]Arc, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			w := g.Cap()
+			for _, a := range g.Out(u) {
+				if a.To == v && a.W < w {
+					w = a.W
+				}
+			}
+			eff = append(eff, Arc{To: v, W: w})
+		}
+		full := KNearestFrom(arcsToDists(eff, n, u), k+1)
+		// Drop the self entry from the reference.
+		ref := make([]Arc, 0, k)
+		for _, nd := range full {
+			if nd.Node != u {
+				ref = append(ref, Arc{To: nd.Node, W: nd.Dist})
+			}
+		}
+		if len(ref) > k {
+			ref = ref[:k]
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func arcsToDists(arcs []Arc, n, self int) []int64 {
+	d := make([]int64, n)
+	for i := range d {
+		d[i] = Inf
+	}
+	d[self] = 0
+	for _, a := range arcs {
+		if a.W < d[a.To] {
+			d[a.To] = a.W
+		}
+	}
+	return d
+}
+
+func TestPropertyUndirectedUnionPreservesDistances(t *testing.T) {
+	// Adding "hopset-like" arcs (weights ≥ true distance) must never change
+	// any distance.
+	f := func(seed int64) bool {
+		g := randomGraphFromSeed(seed, 18)
+		apsp := g.ExactAPSP()
+		rng := rand.New(rand.NewSource(seed ^ 0x5ee5))
+		h := NewDirected(g.N())
+		for i := 0; i < 2*g.N(); i++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			d := apsp.At(u, v)
+			if u == v || minplus.IsInf(d) {
+				continue
+			}
+			h.AddArc(u, v, d+int64(rng.Intn(5)))
+		}
+		union := UndirectedUnion(g, h)
+		return union.ExactAPSP().Equal(apsp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := NewDirected(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddArc(u, v, int64(1+rng.Intn(9)))
+			}
+		}
+		g.Normalize()
+		before := g.NumArcs()
+		g.Normalize()
+		return g.NumArcs() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegularAndHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := RandomRegular(40, 6, WeightRange{Min: 1, Max: 9}, rng)
+	if !g.IsConnected() {
+		t.Fatal("regular graph disconnected")
+	}
+	// Degrees are close to d (matchings may skip a few pairs).
+	for u := 0; u < g.N(); u++ {
+		if deg := len(g.Out(u)); deg < 2 || deg > 8 {
+			t.Fatalf("node %d degree %d out of range", u, deg)
+		}
+	}
+	h := Hypercube(4, UnitWeights, rng)
+	if h.N() != 16 {
+		t.Fatalf("hypercube N = %d, want 16", h.N())
+	}
+	for u := 0; u < h.N(); u++ {
+		if len(h.Out(u)) != 4 {
+			t.Fatalf("hypercube degree %d, want 4", len(h.Out(u)))
+		}
+	}
+	// Hypercube diameter with unit weights is dim.
+	d := h.Dijkstra(0)
+	if d[15] != 4 {
+		t.Fatalf("hypercube corner distance %d, want 4", d[15])
+	}
+	if _, err := GeneratorByName("regular", 24, UnitWeights, rng); err != nil {
+		t.Fatal(err)
+	}
+	if hb, err := GeneratorByName("hypercube", 24, UnitWeights, rng); err != nil || hb.N() != 32 {
+		t.Fatalf("hypercube by name: %v, n=%d", err, hb.N())
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

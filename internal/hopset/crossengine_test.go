@@ -1,0 +1,82 @@
+package hopset
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+)
+
+// TestCrossEngineHopsetEquivalence runs the §4.1 construction on both
+// engines — the audited superstep simulation and the goroutine-per-node
+// live protocol — and demands identical hopset arcs. This validates that
+// the superstep engine's "data movement + charged rounds" faithfully
+// represents a real synchronous execution.
+func TestCrossEngineHopsetEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5; trial++ {
+		n := 20 + rng.Intn(30)
+		g := graph.RandomConnected(n, 4, graph.WeightRange{Min: 1, Max: 25}, rng)
+		delta, _ := degradedEstimate(g, 2+2*rng.Float64(), rng)
+		k := intSqrt(n)
+
+		// Superstep engine.
+		clq := cc.New(n, 1)
+		h, err := Build(clq, g.AsDirected(), delta, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Live engine: same inputs, real goroutines and rounds.
+		dg := g.AsDirected()
+		adj := make([][]cc.LiveArc, n)
+		for u := 0; u < n; u++ {
+			for _, a := range dg.Out(u) {
+				adj[u] = append(adj[u], cc.LiveArc{To: a.To, W: a.W})
+			}
+		}
+		rows := make([][]cc.Word, n)
+		for u := 0; u < n; u++ {
+			rows[u] = delta.Row(u)
+		}
+		live := cc.NewLive(n, 2*k)
+		liveArcs, metrics, err := live.Hopset(adj, rows, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metrics.Rounds != 3 {
+			t.Fatalf("live hopset took %d physical rounds, want 3", metrics.Rounds)
+		}
+
+		for u := 0; u < n; u++ {
+			want := h.Out(u) // Normalized: sorted by destination
+			got := liveArcs[u]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: %d arcs live vs %d superstep\nlive: %v\nsuper: %v",
+					trial, u, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i].To != want[i].To || got[i].W != want[i].W {
+					t.Fatalf("trial %d node %d arc %d: live %v vs superstep %v",
+						trial, u, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLiveHopsetValidation exercises the live protocol's input checks.
+func TestLiveHopsetValidation(t *testing.T) {
+	e := cc.NewLive(4, 8)
+	if _, _, err := e.Hopset(make([][]cc.LiveArc, 3), make([][]cc.Word, 4), 2); err == nil {
+		t.Fatal("wrong adjacency size accepted")
+	}
+	if _, _, err := e.Hopset(make([][]cc.LiveArc, 4), make([][]cc.Word, 4), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	tight := cc.NewLive(4, 1)
+	if _, _, err := tight.Hopset(make([][]cc.LiveArc, 4), make([][]cc.Word, 4), 2); err == nil {
+		t.Fatal("insufficient bandwidth accepted")
+	}
+}

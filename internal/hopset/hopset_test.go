@@ -1,0 +1,228 @@
+package hopset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// degradedEstimate returns a symmetric δ with d ≤ δ ≤ a·d, randomly
+// stretched per pair, simulating the a-approximation input of Lemma 3.2.
+func degradedEstimate(g *graph.Graph, a float64, rng *rand.Rand) (*minplus.Dense, *minplus.Dense) {
+	exact := g.ExactAPSP()
+	n := g.N()
+	delta := minplus.NewDense(n)
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			d := exact.At(u, v)
+			if minplus.IsInf(d) {
+				continue
+			}
+			f := 1 + rng.Float64()*(a-1)
+			val := int64(math.Floor(float64(d) * f))
+			if val < d {
+				val = d
+			}
+			delta.Set(u, v, val)
+			delta.Set(v, u, val)
+		}
+	}
+	return delta, exact
+}
+
+func intSqrt(n int) int {
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func TestBuildPreservesDistances(t *testing.T) {
+	// G∪H must have exactly the distances of G (hopset arcs are real path
+	// lengths, so they can never shorten anything).
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomConnected(40, 5, graph.WeightRange{Min: 1, Max: 30}, rng)
+		delta, exact := degradedEstimate(g, 3, rng)
+		clq := cc.New(g.N(), 1)
+		h, err := Build(clq, g.AsDirected(), delta, intSqrt(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh := graph.UnionDirected(g.AsDirected(), h)
+		got := gh.ExactAPSP()
+		if !got.Equal(exact) {
+			t.Fatalf("trial %d: G∪H changed distances", trial)
+		}
+		if v := clq.Metrics().Violations; len(v) != 0 {
+			t.Fatalf("trial %d: load violations: %v", trial, v)
+		}
+	}
+}
+
+func TestHopsetPropertyExactEstimate(t *testing.T) {
+	// With an exact estimate (a=1), k-nearest nodes must be reachable at
+	// exact distance within the proven β hops.
+	rng := rand.New(rand.NewSource(32))
+	gens := map[string]*graph.Graph{
+		"random": graph.RandomConnected(48, 5, graph.WeightRange{Min: 1, Max: 20}, rng),
+		"path":   graph.Path(48, graph.WeightRange{Min: 1, Max: 9}, rng),
+		"grid":   graph.Grid(7, 7, graph.WeightRange{Min: 1, Max: 9}, rng),
+	}
+	for name, g := range gens {
+		k := intSqrt(g.N())
+		exact := g.ExactAPSP()
+		clq := cc.New(g.N(), 1)
+		h, err := Build(clq, g.AsDirected(), exact, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh := graph.UnionDirected(g.AsDirected(), h)
+		beta := HopBound(1, g.WeightedDiameter())
+		sources := make([]int, g.N())
+		for i := range sources {
+			sources[i] = i
+		}
+		radius, pairs := MeasureHopRadius(g, gh, k, sources, beta)
+		if radius < 0 {
+			t.Fatalf("%s: some k-nearest pair needs more than β=%d hops", name, beta)
+		}
+		if pairs == 0 {
+			t.Fatalf("%s: no pairs measured", name)
+		}
+	}
+}
+
+func TestHopsetPropertyDegradedEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.RandomConnected(40, 4, graph.WeightRange{Min: 1, Max: 25}, rng)
+		a := 2 + 3*rng.Float64()
+		delta, _ := degradedEstimate(g, a, rng)
+		k := intSqrt(g.N())
+		clq := cc.New(g.N(), 1)
+		h, err := Build(clq, g.AsDirected(), delta, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh := graph.UnionDirected(g.AsDirected(), h)
+		beta := HopBound(a, g.WeightedDiameter())
+		sources := []int{0, 7, 13, 21, 39}
+		radius, _ := MeasureHopRadius(g, gh, k, sources, beta)
+		if radius < 0 {
+			t.Fatalf("trial %d (a=%.2f): pair exceeds β=%d hops", trial, a, beta)
+		}
+	}
+}
+
+func TestHopsetWithLogApproxScaleEstimate(t *testing.T) {
+	// A crude valid estimate: exact distances times a constant factor.
+	rng := rand.New(rand.NewSource(34))
+	g := graph.RandomConnected(36, 5, graph.WeightRange{Min: 1, Max: 15}, rng)
+	exact := g.ExactAPSP()
+	delta := exact.Clone()
+	delta.Scale(5)
+	delta.SetDiagZero()
+	k := intSqrt(g.N())
+	clq := cc.New(g.N(), 1)
+	h, err := Build(clq, g.AsDirected(), delta, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := graph.UnionDirected(g.AsDirected(), h)
+	beta := HopBound(5, g.WeightedDiameter())
+	radius, _ := MeasureHopRadius(g, gh, k, []int{0, 5, 35}, beta)
+	if radius < 0 {
+		t.Fatalf("pair exceeds β=%d hops", beta)
+	}
+}
+
+func TestBuildOnCappedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := graph.RandomConnected(30, 4, graph.WeightRange{Min: 1, Max: 9}, rng).AsDirected()
+	g.SetCap(12)
+	exact := g.ExactAPSP()
+	clq := cc.New(g.N(), 1)
+	h, err := Build(clq, g, exact, intSqrt(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := graph.UnionDirected(g, h)
+	if !gh.ExactAPSP().Equal(exact) {
+		t.Fatal("capped G∪H changed distances")
+	}
+}
+
+func TestBuildConstantRounds(t *testing.T) {
+	// The hopset construction must cost O(1) rounds — independent of n —
+	// when loads stay within the lemma's O(n) budgets.
+	rounds := make(map[int]int64)
+	for _, n := range []int{32, 64, 128} {
+		rng := rand.New(rand.NewSource(36))
+		g := graph.RandomConnected(n, 5, graph.WeightRange{Min: 1, Max: 20}, rng)
+		exact := g.ExactAPSP()
+		clq := cc.New(n, 1)
+		if _, err := Build(clq, g.AsDirected(), exact, intSqrt(n)); err != nil {
+			t.Fatal(err)
+		}
+		m := clq.Metrics()
+		if len(m.Violations) != 0 {
+			t.Fatalf("n=%d: violations %v", n, m.Violations)
+		}
+		rounds[n] = m.Rounds
+	}
+	if rounds[128] > rounds[32]+4 {
+		t.Fatalf("rounds grew with n: %v", rounds)
+	}
+	if rounds[128] > 16 {
+		t.Fatalf("rounds = %d, want small constant", rounds[128])
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	clq := cc.New(4, 1)
+	if _, err := Build(clq, g, minplus.NewDense(3), 2); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+	if _, err := Build(clq, g, minplus.NewDense(4), 0); err == nil {
+		t.Fatal("expected invalid k error")
+	}
+	// k > n is clamped, not an error.
+	exact := g.ExactAPSP()
+	if _, err := Build(clq, g.AsDirected(), exact, 99); err != nil {
+		t.Fatalf("k>n should clamp: %v", err)
+	}
+}
+
+func TestHopBoundMonotone(t *testing.T) {
+	if HopBound(1, 100) > HopBound(4, 100) {
+		t.Fatal("hop bound must grow with a")
+	}
+	if HopBound(2, 10) > HopBound(2, 10000) {
+		t.Fatal("hop bound must grow with diameter")
+	}
+	if HopBound(0.5, 1) < 2 {
+		t.Fatal("degenerate inputs must still give a usable bound")
+	}
+}
+
+func TestMeasureHopRadiusDetectsMissingShortcuts(t *testing.T) {
+	// Without any hopset, a long path needs ~k hops for its k-nearest.
+	rng := rand.New(rand.NewSource(37))
+	g := graph.Path(20, graph.UnitWeights, rng)
+	radius, _ := MeasureHopRadius(g, g.AsDirected(), 5, []int{0}, 10)
+	if radius != 4 {
+		t.Fatalf("path radius = %d, want 4 (self plus 4 neighbours)", radius)
+	}
+	radius, _ = MeasureHopRadius(g, g.AsDirected(), 10, []int{0}, 3)
+	if radius != -1 {
+		t.Fatalf("radius = %d, want -1 (unreachable within 3 hops)", radius)
+	}
+}

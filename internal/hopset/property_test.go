@@ -1,0 +1,88 @@
+package hopset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// TestPropertyHopsetNeverShortcutsBelowTruth: every hopset arc weight is a
+// real path length, so G∪H preserves all distances — for arbitrary random
+// graphs and arbitrary valid estimates.
+func TestPropertyHopsetNeverShortcutsBelowTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		g := graph.RandomConnected(n, 2+3*rng.Float64(), graph.WeightRange{Min: 1, Max: 25}, rng)
+		a := 1 + 4*rng.Float64()
+		delta, exact := degradedEstimate(g, a, rng)
+		clq := cc.New(n, 1)
+		h, err := Build(clq, g.AsDirected(), delta, intSqrt(n))
+		if err != nil {
+			return false
+		}
+		gh := graph.UnionDirected(g.AsDirected(), h)
+		return gh.ExactAPSP().Equal(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyHopsetBetaBound: the measured hop radius to the k-nearest
+// nodes stays within the proven β for random inputs.
+func TestPropertyHopsetBetaBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		g := graph.RandomConnected(n, 3, graph.WeightRange{Min: 1, Max: 15}, rng)
+		a := 1 + 3*rng.Float64()
+		delta, _ := degradedEstimate(g, a, rng)
+		k := intSqrt(n)
+		clq := cc.New(n, 1)
+		h, err := Build(clq, g.AsDirected(), delta, k)
+		if err != nil {
+			return false
+		}
+		gh := graph.UnionDirected(g.AsDirected(), h)
+		beta := HopBound(a, g.WeightedDiameter())
+		src := []int{rng.Intn(n), rng.Intn(n)}
+		radius, _ := MeasureHopRadius(g, gh, k, src, beta)
+		return radius >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyHopsetArcsDominateDistances: each individual hopset arc
+// weight is at least the true distance between its endpoints.
+func TestPropertyHopsetArcsDominateDistances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		g := graph.RandomConnected(n, 3, graph.WeightRange{Min: 1, Max: 20}, rng)
+		delta, exact := degradedEstimate(g, 2, rng)
+		clq := cc.New(n, 1)
+		h, err := Build(clq, g.AsDirected(), delta, intSqrt(n))
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, arc := range h.Out(u) {
+				d := exact.At(u, arc.To)
+				if minplus.IsInf(d) || arc.W < d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,440 @@
+// Package knearest implements the paper's fast k-nearest-nodes computation
+// (§5, Lemmas 5.1 and 5.2): given a weighted directed graph and parameters
+// k ∈ O(n^{1/h}), each application computes, for every node u, the k nodes
+// nearest to u under h-hop distances, in O(1) rounds; i applications extend
+// this to h^i-hop distances.
+//
+// The algorithm is the filtered-matrix scheme of §5.2: each node keeps the k
+// smallest entries of its row (the matrix Ā), the global concatenated edge
+// list M is cut into p = ⌊n^{1/h}·h/4⌋ bins, each of the ≤ n
+// "h-combinations" of bins (a distinguished first bin plus h−1 further bins)
+// is assigned to a node that collects its bins' edges and answers h-hop
+// queries for the sources whose list intersects its first bin. The paper's
+// fallbacks for degenerate parameters (p < h, or bins no larger than a
+// single list) broadcast the lists outright.
+//
+// Correctness leans on Lemma 5.5 (filtering preserves the optimal paths to
+// k-nearest targets: Ā^h = A^h on those entries), which the tests verify
+// empirically against unfiltered references.
+package knearest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// Result holds the outcome of a k-nearest computation: Lists[u] are u's k
+// nearest nodes (including u itself at distance 0) ordered by
+// (distance, ID), under h^i-hop distances.
+type Result struct {
+	Lists [][]graph.NodeDist
+	K     int
+	// Hops is the hop depth h^i the lists are exact for.
+	Hops int
+}
+
+// Compute runs Lemma 5.2: iters applications of the Lemma 5.1 algorithm on
+// the directed (possibly capped) graph g. It requires k ≥ 1, h ≥ 1,
+// iters ≥ 1; k is clamped to n.
+func Compute(clq *cc.Clique, g *graph.Graph, k, h, iters int) (*Result, error) {
+	n := g.N()
+	if k < 1 {
+		return nil, fmt.Errorf("knearest: invalid k %d", k)
+	}
+	if h < 1 || iters < 1 {
+		return nil, fmt.Errorf("knearest: invalid h=%d iters=%d", h, iters)
+	}
+	if k > n {
+		k = n
+	}
+	clq.Phase("knearest")
+
+	rows := initialRows(g, k)
+	hops := 1
+	for it := 0; it < iters; it++ {
+		var err error
+		rows, err = iterate(clq, n, k, h, rows)
+		if err != nil {
+			return nil, err
+		}
+		if hops < n { // avoid overflow; hop depths beyond n are all equal
+			hops *= h
+		}
+	}
+	lists := make([][]graph.NodeDist, n)
+	for u, row := range rows {
+		lists[u] = make([]graph.NodeDist, 0, len(row))
+		for _, e := range row {
+			lists[u] = append(lists[u], graph.NodeDist{Node: e.Col, Dist: e.W})
+		}
+		sort.Slice(lists[u], func(a, b int) bool {
+			x, y := lists[u][a], lists[u][b]
+			if x.Dist != y.Dist {
+				return x.Dist < y.Dist
+			}
+			return x.Node < y.Node
+		})
+	}
+	return &Result{Lists: lists, K: k, Hops: hops}, nil
+}
+
+// initialRows builds the filtered adjacency rows M(u): the k smallest
+// entries of u's row in the weighted adjacency matrix (diagonal 0 included,
+// cap arcs materialized as needed). Rows are stored sorted by (W, Col).
+func initialRows(g *graph.Graph, k int) [][]minplus.Entry {
+	n := g.N()
+	rows := make([][]minplus.Entry, n)
+	for u := 0; u < n; u++ {
+		row := make([]minplus.Entry, 0, k)
+		row = append(row, minplus.Entry{Col: u, W: 0})
+		for _, a := range g.LightestOut(u, k-1) {
+			row = append(row, minplus.Entry{Col: a.To, W: a.W})
+		}
+		rows[u] = row
+	}
+	return rows
+}
+
+// iterate performs one application of the Lemma 5.1 algorithm: from rows
+// representing a filtered matrix Ā, it returns the rows of the k smallest
+// entries per row of Ā^h.
+func iterate(clq *cc.Clique, n, k, h int, rows [][]minplus.Entry) ([][]minplus.Entry, error) {
+	p := int(math.Floor(math.Pow(float64(n), 1.0/float64(h)) * float64(h) / 4.0))
+	binSize := 0
+	if p >= 1 {
+		binSize = (n*k + p - 1) / p
+	}
+	if p < h || binSize <= k {
+		return fallbackBroadcast(clq, n, k, h, rows), nil
+	}
+
+	combos := enumerateCombos(p, h)
+	for len(combos) > n {
+		// The paper proves h·C(p,h) ≤ n for p = ⌊n^{1/h}·h/4⌋; floor effects
+		// at tiny n can still overshoot, in which case shrinking p preserves
+		// correctness (bins merely get larger).
+		p--
+		if p < h {
+			return fallbackBroadcast(clq, n, k, h, rows), nil
+		}
+		binSize = (n*k + p - 1) / p
+		if binSize <= k {
+			return fallbackBroadcast(clq, n, k, h, rows), nil
+		}
+		combos = enumerateCombos(p, h)
+	}
+
+	// The global list M: position j holds entry j%k of node j/k's row (rows
+	// are padded to exactly k entries with Col = -1 sentinels, skipped on
+	// receipt). Bin b covers positions [b·binSize, (b+1)·binSize).
+	padded := make([][]minplus.Entry, n)
+	for u, row := range rows {
+		pr := make([]minplus.Entry, k)
+		copy(pr, row)
+		for i := len(row); i < k; i++ {
+			pr[i] = minplus.Entry{Col: -1, W: minplus.Inf}
+		}
+		padded[u] = pr
+	}
+
+	// Step 3: each combo node collects the edges of its bins. A node's
+	// segment within a bin is one message; senders duplicate across combos,
+	// which is the Lemma 2.2 regime.
+	var collect []cc.Message
+	for comboID, cb := range combos {
+		for _, b := range cb.bins() {
+			lo, hi := b*binSize, (b+1)*binSize
+			if hi > n*k {
+				hi = n * k
+			}
+			for pos := lo; pos < hi; {
+				owner := pos / k
+				end := (owner + 1) * k
+				if end > hi {
+					end = hi
+				}
+				payload := make([]cc.Word, 0, 2*(end-pos))
+				for q := pos; q < end; q++ {
+					e := padded[owner][q%k]
+					if e.Col >= 0 {
+						payload = append(payload, int64(e.Col), e.W)
+					}
+				}
+				if len(payload) > 0 {
+					collect = append(collect, cc.Message{From: owner, To: comboID, Payload: payload})
+				}
+				pos = end
+			}
+		}
+	}
+	binBudget := int64(2*h*binSize + n)
+	collected := clq.Route(collect, cc.RouteOpts{
+		Duplicable: true,
+		RecvBudget: binBudget,
+		Note:       "knearest bin collection",
+	})
+
+	// Step 4a: sources query the combo nodes whose first bin intersects
+	// their list segment (positions are global knowledge, so the query is a
+	// single word).
+	firstBinOf := make([][]int, p) // bin → combo IDs with that first bin
+	for id, cb := range combos {
+		firstBinOf[cb.first] = append(firstBinOf[cb.first], id)
+	}
+	var queries []cc.Message
+	for u := 0; u < n; u++ {
+		for _, b := range binsOfRange(u*k, (u+1)*k, binSize, p) {
+			for _, comboID := range firstBinOf[b] {
+				queries = append(queries, cc.Message{From: u, To: comboID})
+			}
+		}
+	}
+	queryBudget := int64(2*binSize + n)
+	queryInbox := clq.Route(queries, cc.RouteOpts{
+		SendBudget: int64(2 * (len(combos)/p + 1)),
+		RecvBudget: queryBudget,
+		Note:       "knearest queries",
+	})
+
+	// Step 4b: each combo node answers every querying source with the k
+	// nearest nodes it can certify from its local edges within h hops.
+	var responses []cc.Message
+	for comboID := range combos {
+		local := newLocalGraph(collected[comboID])
+		for _, q := range queryInbox[comboID] {
+			best := local.hopKNearest(q.From, k, h)
+			payload := make([]cc.Word, 0, 2*len(best))
+			for _, nd := range best {
+				payload = append(payload, int64(nd.Node), nd.Dist)
+			}
+			responses = append(responses, cc.Message{From: comboID, To: q.From, Payload: payload})
+		}
+	}
+	respBudget := int64(2*k*(2*(len(combos)/p+1)) + n)
+	respInbox := clq.Route(responses, cc.RouteOpts{
+		Duplicable: true,
+		RecvBudget: respBudget,
+		Note:       "knearest responses",
+	})
+
+	// Union-min over responses, then keep the k smallest (Lemma 5.4).
+	next := make([][]minplus.Entry, n)
+	for u := 0; u < n; u++ {
+		bestBy := map[int]int64{u: 0}
+		for _, m := range respInbox[u] {
+			for i := 0; i+1 < len(m.Payload); i += 2 {
+				node, d := int(m.Payload[i]), m.Payload[i+1]
+				if old, ok := bestBy[node]; !ok || d < old {
+					bestBy[node] = d
+				}
+			}
+		}
+		ents := make([]minplus.Entry, 0, len(bestBy))
+		for node, d := range bestBy {
+			ents = append(ents, minplus.Entry{Col: node, W: d})
+		}
+		sort.Slice(ents, func(a, b int) bool { return ents[a].Less(ents[b]) })
+		if len(ents) > k {
+			ents = ents[:k]
+		}
+		next[u] = ents
+	}
+	return next, nil
+}
+
+// fallbackBroadcast handles the degenerate parameter regimes of §5.2: all
+// lists are broadcast (n·k entries total) and every node finishes locally.
+func fallbackBroadcast(clq *cc.Clique, n, k, h int, rows [][]minplus.Entry) [][]minplus.Entry {
+	var total int64
+	for _, row := range rows {
+		total += int64(2 * len(row))
+	}
+	clq.Broadcast(total, "knearest fallback list broadcast")
+	// Every node now knows all rows; compute h-hop k-nearest locally.
+	next := make([][]minplus.Entry, n)
+	for u := 0; u < n; u++ {
+		next[u] = hopBellmanFord(n, u, rows, k, h)
+	}
+	return next
+}
+
+// hopBellmanFord computes the k smallest h-hop distances from src over the
+// given rows (global arc view), used by the fallback path.
+func hopBellmanFord(n, src int, arcs [][]minplus.Entry, k, h int) []minplus.Entry {
+	dist := make([]int64, n)
+	next := make([]int64, n)
+	for i := range dist {
+		dist[i] = minplus.Inf
+	}
+	dist[src] = 0
+	for step := 0; step < h; step++ {
+		copy(next, dist)
+		for u := 0; u < n; u++ {
+			du := dist[u]
+			if minplus.IsInf(du) {
+				continue
+			}
+			for _, e := range arcs[u] {
+				if nd := minplus.SatAdd(du, e.W); nd < next[e.Col] {
+					next[e.Col] = nd
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+	ents := make([]minplus.Entry, 0, k)
+	for v, dv := range dist {
+		if !minplus.IsInf(dv) {
+			ents = append(ents, minplus.Entry{Col: v, W: dv})
+		}
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].Less(ents[b]) })
+	if len(ents) > k {
+		ents = ents[:k]
+	}
+	return ents
+}
+
+// combo is one h-combination: a distinguished first bin and h−1 further
+// distinct bins (paper §5.2, Step 2).
+type combo struct {
+	first int
+	rest  []int
+}
+
+func (c combo) bins() []int {
+	out := make([]int, 0, 1+len(c.rest))
+	out = append(out, c.first)
+	out = append(out, c.rest...)
+	return out
+}
+
+// enumerateCombos lists all h·C(p,h) h-combinations deterministically:
+// first bin ascending, then the (h−1)-subsets of the remaining bins in
+// lexicographic order.
+func enumerateCombos(p, h int) []combo {
+	var out []combo
+	subset := make([]int, 0, h-1)
+	var rec func(start int, first int)
+	rec = func(start, first int) {
+		if len(subset) == h-1 {
+			out = append(out, combo{first: first, rest: append([]int(nil), subset...)})
+			return
+		}
+		for b := start; b < p; b++ {
+			if b == first {
+				continue
+			}
+			subset = append(subset, b)
+			rec(b+1, first)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	for first := 0; first < p; first++ {
+		rec(0, first)
+	}
+	return out
+}
+
+// binsOfRange returns the bins overlapping global positions [lo, hi).
+func binsOfRange(lo, hi, binSize, p int) []int {
+	first := lo / binSize
+	last := (hi - 1) / binSize
+	if last >= p {
+		last = p - 1
+	}
+	out := make([]int, 0, last-first+1)
+	for b := first; b <= last; b++ {
+		out = append(out, b)
+	}
+	return out
+}
+
+// localGraph is the edge multiset a combo node received, indexed densely
+// over the nodes that occur in it.
+type localGraph struct {
+	index map[int]int // global node → local index
+	nodes []int       // local index → global node
+	adj   [][]minplus.Entry
+}
+
+func newLocalGraph(msgs []cc.Message) *localGraph {
+	lg := &localGraph{index: make(map[int]int)}
+	touch := func(global int) int {
+		if li, ok := lg.index[global]; ok {
+			return li
+		}
+		li := len(lg.nodes)
+		lg.index[global] = li
+		lg.nodes = append(lg.nodes, global)
+		lg.adj = append(lg.adj, nil)
+		return li
+	}
+	for _, m := range msgs {
+		from := touch(m.From)
+		for i := 0; i+1 < len(m.Payload); i += 2 {
+			to := touch(int(m.Payload[i]))
+			lg.adj[from] = append(lg.adj[from], minplus.Entry{Col: to, W: m.Payload[i+1]})
+		}
+	}
+	return lg
+}
+
+// hopKNearest runs an h-hop Bellman–Ford from the global source node over
+// the local edges and returns the k nearest (node, dist) pairs it certifies.
+func (lg *localGraph) hopKNearest(src, k, h int) []graph.NodeDist {
+	li, ok := lg.index[src]
+	if !ok {
+		return []graph.NodeDist{{Node: src, Dist: 0}}
+	}
+	m := len(lg.nodes)
+	dist := make([]int64, m)
+	next := make([]int64, m)
+	for i := range dist {
+		dist[i] = minplus.Inf
+	}
+	dist[li] = 0
+	for step := 0; step < h; step++ {
+		copy(next, dist)
+		for u := 0; u < m; u++ {
+			du := dist[u]
+			if minplus.IsInf(du) {
+				continue
+			}
+			for _, e := range lg.adj[u] {
+				if nd := minplus.SatAdd(du, e.W); nd < next[e.Col] {
+					next[e.Col] = nd
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+	out := make([]graph.NodeDist, 0, k)
+	for i, dv := range dist {
+		if !minplus.IsInf(dv) {
+			out = append(out, graph.NodeDist{Node: lg.nodes[i], Dist: dv})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Node < out[b].Node
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Reference computes the k-nearest lists under hops-hop distances by direct
+// per-source Bellman–Ford on the unfiltered graph — the oracle for tests
+// and, via Lemma 5.5, the specification of Compute.
+func Reference(g *graph.Graph, k, hops int) [][]graph.NodeDist {
+	return g.KNearestHops(k, hops)
+}

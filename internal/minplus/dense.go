@@ -1,0 +1,267 @@
+package minplus
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Dense is a dense n×n matrix over the tropical semiring, stored row-major.
+// In the distributed algorithms a Dense value models per-node knowledge:
+// row u is the vector of estimates known to node u.
+type Dense struct {
+	n int
+	a []int64
+}
+
+// NewDense returns an n×n matrix with every entry Inf.
+func NewDense(n int) *Dense {
+	if n <= 0 {
+		panic(fmt.Sprintf("minplus: invalid dimension %d", n))
+	}
+	d := &Dense{n: n, a: make([]int64, n*n)}
+	for i := range d.a {
+		d.a[i] = Inf
+	}
+	return d
+}
+
+// Identity returns the tropical identity matrix: zero diagonal, Inf elsewhere.
+func Identity(n int) *Dense {
+	d := NewDense(n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 0)
+	}
+	return d
+}
+
+// FromRows builds a Dense from a square slice-of-slices. The input is copied.
+func FromRows(rows [][]int64) *Dense {
+	n := len(rows)
+	d := NewDense(n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic(fmt.Sprintf("minplus: row %d has length %d, want %d", i, len(r), n))
+		}
+		copy(d.a[i*n:(i+1)*n], r)
+	}
+	return d
+}
+
+// N returns the matrix dimension.
+func (d *Dense) N() int { return d.n }
+
+// At returns the entry at row i, column j.
+func (d *Dense) At(i, j int) int64 { return d.a[i*d.n+j] }
+
+// Set stores v at row i, column j.
+func (d *Dense) Set(i, j int, v int64) { d.a[i*d.n+j] = v }
+
+// Row returns a view of row i. The caller must not modify it unless it owns
+// the matrix.
+func (d *Dense) Row(i int) []int64 { return d.a[i*d.n : (i+1)*d.n] }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := &Dense{n: d.n, a: make([]int64, len(d.a))}
+	copy(c.a, d.a)
+	return c
+}
+
+// SetDiagZero sets every diagonal entry to 0 (distance of a node to itself).
+func (d *Dense) SetDiagZero() {
+	for i := 0; i < d.n; i++ {
+		d.Set(i, i, 0)
+	}
+}
+
+// Symmetrize replaces each pair (i,j),(j,i) by their minimum. Distance
+// estimates in undirected graphs are kept symmetric this way.
+func (d *Dense) Symmetrize() {
+	for i := 0; i < d.n; i++ {
+		for j := i + 1; j < d.n; j++ {
+			v := min64(d.At(i, j), d.At(j, i))
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+}
+
+// Clamp replaces every entry strictly greater than cap by cap. It models the
+// universal weight-cap edges of the weight-scaling construction (paper §8.1):
+// if an edge of weight cap exists between every pair, every distance is at
+// most cap.
+func (d *Dense) Clamp(cap int64) {
+	for i, v := range d.a {
+		if v > cap {
+			d.a[i] = cap
+		}
+	}
+}
+
+// MaxFinite returns the largest non-infinite entry, or 0 if all entries are
+// infinite.
+func (d *Dense) MaxFinite() int64 {
+	var m int64
+	for _, v := range d.a {
+		if !IsInf(v) && v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Equal reports whether the two matrices have identical dimensions and
+// entries (with all infinite representations considered equal).
+func (d *Dense) Equal(o *Dense) bool {
+	if d.n != o.n {
+		return false
+	}
+	for i, v := range d.a {
+		w := o.a[i]
+		if IsInf(v) && IsInf(w) {
+			continue
+		}
+		if v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale multiplies every finite entry by f (f ≥ 1), saturating at Inf.
+func (d *Dense) Scale(f int64) {
+	for i, v := range d.a {
+		if !IsInf(v) {
+			p := v * f
+			if p/f != v || p >= Inf {
+				p = Inf
+			}
+			d.a[i] = p
+		}
+	}
+}
+
+// KSmallestInRow returns the k smallest entries of row i in (value, column)
+// order. If the row has fewer than k finite entries, all finite entries are
+// returned. The result is newly allocated.
+func (d *Dense) KSmallestInRow(i, k int) []Entry {
+	row := d.Row(i)
+	ents := make([]Entry, 0, len(row))
+	for j, v := range row {
+		if !IsInf(v) {
+			ents = append(ents, Entry{Col: j, W: v})
+		}
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].Less(ents[b]) })
+	if len(ents) > k {
+		ents = ents[:k]
+	}
+	out := make([]Entry, len(ents))
+	copy(out, ents)
+	return out
+}
+
+// Mul returns the distance product d ⋆ o over the tropical semiring:
+// (d⋆o)[i,j] = min_k (d[i,k] + o[k,j]). Rows are processed in parallel.
+func (d *Dense) Mul(o *Dense) *Dense {
+	if d.n != o.n {
+		panic(fmt.Sprintf("minplus: dimension mismatch %d vs %d", d.n, o.n))
+	}
+	n := d.n
+	out := NewDense(n)
+	parallelRows(n, func(i int) {
+		di := d.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < n; k++ {
+			dik := di[k]
+			if IsInf(dik) {
+				continue
+			}
+			ok := o.Row(k)
+			for j := 0; j < n; j++ {
+				if s := dik + ok[j]; s < oi[j] {
+					oi[j] = s
+				}
+			}
+		}
+	})
+	return out
+}
+
+// PowerFixpoint returns d^h (tropical) where h is the smallest power of two
+// at which the matrix stops changing, capped at maxExp. It also returns the
+// number of squarings performed. The diagonal is forced to zero first so that
+// powers model h-hop distances.
+func (d *Dense) PowerFixpoint(maxExp int) (*Dense, int) {
+	cur := d.Clone()
+	cur.SetDiagZero()
+	squarings := 0
+	for exp := 1; exp < maxExp; exp *= 2 {
+		next := cur.Mul(cur)
+		squarings++
+		if next.Equal(cur) {
+			return next, squarings
+		}
+		cur = next
+	}
+	return cur, squarings
+}
+
+// Power returns d^h over the tropical semiring via binary exponentiation.
+// h must be ≥ 1.
+func (d *Dense) Power(h int) *Dense {
+	if h < 1 {
+		panic(fmt.Sprintf("minplus: invalid exponent %d", h))
+	}
+	result := d.Clone()
+	h--
+	base := d.Clone()
+	for h > 0 {
+		if h&1 == 1 {
+			result = result.Mul(base)
+		}
+		h >>= 1
+		if h > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+func parallelRows(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

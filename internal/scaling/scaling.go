@@ -1,0 +1,215 @@
+// Package scaling implements the paper's weight scaling lemma (§8.1,
+// Lemma 8.1): given an h-approximation δ of APSP on a weighted undirected
+// graph, it constructs — with zero communication — O(log n) graphs
+// G_0, G_1, …, each of weighted diameter at most ⌈2/ε⌉·h², such that
+// l-approximations of APSP on the G_i combine (again with zero
+// communication) into an η with
+//
+//	η(u,v) ≥ d(u,v)                      for all pairs, and
+//	η(u,v) < (1+ε)·l·d(u,v)              for pairs joined by a shortest
+//	                                     path of at most h hops.
+//
+// G_i is obtained by rounding each edge weight up to a multiple of 2^i,
+// capping at 2^i·B·h² (B = ⌈2/ε⌉), and dividing by 2^i; the cap edge
+// "between every pair" is represented implicitly via graph.Graph's Cap.
+// Scales whose graphs coincide (which happens for all large i once every
+// weight rounds to 1) are deduplicated so downstream solvers run once per
+// distinct graph.
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// Scaled is the family of scaled graphs of Lemma 8.1.
+type Scaled struct {
+	// Eps is the accuracy parameter; B = ⌈2/ε⌉.
+	Eps float64
+	B   int64
+	// H is the hop bound h of the lemma.
+	H int
+	// Cap = B·h² bounds every distance in every scaled graph.
+	Cap int64
+	// NumScales is the number of scales (indices 0..NumScales-1).
+	NumScales int
+	// GraphIndex maps scale i to an index into Graphs (scales with
+	// identical graphs share one entry).
+	GraphIndex []int
+	// Graphs holds the distinct scaled graphs, all capped at Cap.
+	Graphs []*graph.Graph
+}
+
+// Build constructs the scaled family for the graph gh (typically G∪H after
+// hopset augmentation) with hop bound h and accuracy eps, sized to cover
+// every finite entry of the estimate delta. No rounds are charged: the
+// construction is local (paper: "in zero rounds").
+func Build(gh *graph.Graph, h int, eps float64, delta *minplus.Dense) (*Scaled, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("scaling: invalid hop bound %d", h)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("scaling: invalid eps %v", eps)
+	}
+	b := int64(math.Ceil(2 / eps))
+	cap := b * int64(h) * int64(h)
+	if cap <= 0 {
+		return nil, fmt.Errorf("scaling: cap overflow for h=%d eps=%v", h, eps)
+	}
+
+	maxScale := 0
+	n := delta.N()
+	for u := 0; u < n; u++ {
+		for _, v := range delta.Row(u) {
+			if s := ScaleOf(v, b, h); s > maxScale {
+				maxScale = s
+			}
+		}
+	}
+
+	sc := &Scaled{
+		Eps:        eps,
+		B:          b,
+		H:          h,
+		Cap:        cap,
+		NumScales:  maxScale + 1,
+		GraphIndex: make([]int, maxScale+1),
+	}
+	for i := 0; i <= maxScale; i++ {
+		g := scaleGraph(gh, int64(1)<<uint(i), cap)
+		if len(sc.Graphs) > 0 && sameWeights(sc.Graphs[len(sc.Graphs)-1], g) {
+			// Rounding is absorbing: once two consecutive scales coincide,
+			// all later scales coincide too.
+			sc.GraphIndex[i] = len(sc.Graphs) - 1
+			continue
+		}
+		sc.Graphs = append(sc.Graphs, g)
+		sc.GraphIndex[i] = len(sc.Graphs) - 1
+	}
+	return sc, nil
+}
+
+// scaleGraph returns G_i: weights ⌈w/x⌉ clamped at cap, with the universal
+// cap edge installed. Directedness follows the input graph.
+func scaleGraph(gh *graph.Graph, x, cap int64) *graph.Graph {
+	var g *graph.Graph
+	if gh.Directed() {
+		g = graph.NewDirected(gh.N())
+	} else {
+		g = graph.New(gh.N())
+	}
+	for u := 0; u < gh.N(); u++ {
+		for _, a := range gh.Out(u) {
+			if !gh.Directed() && a.To < u {
+				continue
+			}
+			w := (a.W + x - 1) / x
+			if w > cap {
+				w = cap
+			}
+			if w < 1 {
+				w = 1
+			}
+			if gh.Directed() {
+				g.AddArc(u, a.To, w)
+			} else {
+				g.AddEdge(u, a.To, w)
+			}
+		}
+	}
+	if gh.Cap() > 0 {
+		// A capped input contributes its own (scaled) universal edge; it can
+		// only be tighter than the lemma's cap.
+		inCap := (gh.Cap() + x - 1) / x
+		if inCap < cap {
+			cap = inCap
+		}
+	}
+	g.SetCap(cap)
+	return g.Normalize()
+}
+
+// sameWeights reports whether two scaled graphs have identical arcs and cap.
+func sameWeights(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.NumArcs() != b.NumArcs() || a.Cap() != b.Cap() {
+		return false
+	}
+	for u := 0; u < a.N(); u++ {
+		au, bu := a.Out(u), b.Out(u)
+		if len(au) != len(bu) {
+			return false
+		}
+		for i := range au {
+			if au[i] != bu[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ScaleOf returns the scale index the lemma assigns to an estimate value:
+// the unique i ≥ 0 with value < 2^i·B·h² (and value ≥ 2^{i-1}·B·h² when
+// i ≥ 1). Infinite estimates return -1 (no scale: the pair is treated as
+// unreachable).
+func ScaleOf(value, b int64, h int) int {
+	if minplus.IsInf(value) {
+		return -1
+	}
+	threshold := b * int64(h) * int64(h)
+	i := 0
+	for value >= threshold {
+		i++
+		threshold *= 2
+		if threshold <= 0 { // overflow guard; unreachable for poly weights
+			break
+		}
+	}
+	return i
+}
+
+// Combine implements the zero-round recombination: given the original
+// h-approximation delta and an l-approximation estimate for each distinct
+// scaled graph (indexed like Scaled.Graphs), it returns η with
+// η(u,v) = 2^i·δ_{G_i}(u,v) for the scale i selected by delta(u,v).
+func (sc *Scaled) Combine(delta *minplus.Dense, perGraph []*minplus.Dense) (*minplus.Dense, error) {
+	if len(perGraph) != len(sc.Graphs) {
+		return nil, fmt.Errorf("scaling: %d estimates for %d graphs", len(perGraph), len(sc.Graphs))
+	}
+	n := delta.N()
+	eta := minplus.NewDense(n)
+	for u := 0; u < n; u++ {
+		row := eta.Row(u)
+		du := delta.Row(u)
+		for v := 0; v < n; v++ {
+			if v == u {
+				row[v] = 0
+				continue
+			}
+			s := ScaleOf(du[v], sc.B, sc.H)
+			if s < 0 || s >= sc.NumScales {
+				continue // unreachable pair stays Inf
+			}
+			est := perGraph[sc.GraphIndex[s]].At(u, v)
+			if minplus.IsInf(est) {
+				continue
+			}
+			x := int64(1) << uint(s)
+			prod := est * x
+			if prod/x != est || prod >= minplus.Inf {
+				prod = minplus.Inf
+			}
+			row[v] = prod
+		}
+	}
+	eta.Symmetrize()
+	return eta, nil
+}
+
+// CombinedFactor returns the approximation guarantee (1+ε)·l that Combine
+// provides on pairs with ≤h-hop shortest paths, given l-approximations of
+// the scaled graphs.
+func (sc *Scaled) CombinedFactor(l float64) float64 { return (1 + sc.Eps) * l }

@@ -1,0 +1,286 @@
+package scaling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// hApprox returns a valid factor-f overestimate of exact distances.
+func hApprox(exact *minplus.Dense, f float64, rng *rand.Rand) *minplus.Dense {
+	n := exact.N()
+	d := minplus.NewDense(n)
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			e := exact.At(u, v)
+			if minplus.IsInf(e) {
+				continue
+			}
+			val := int64(math.Floor(float64(e) * (1 + rng.Float64()*(f-1))))
+			if val < e {
+				val = e
+			}
+			d.Set(u, v, val)
+			d.Set(v, u, val)
+		}
+	}
+	return d
+}
+
+func TestScaleOf(t *testing.T) {
+	b, h := int64(4), 3 // B·h² = 36
+	tests := []struct {
+		value int64
+		want  int
+	}{
+		{0, 0}, {1, 0}, {35, 0}, {36, 1}, {71, 1}, {72, 2}, {143, 2}, {144, 3},
+	}
+	for _, tc := range tests {
+		if got := ScaleOf(tc.value, b, h); got != tc.want {
+			t.Fatalf("ScaleOf(%d) = %d, want %d", tc.value, got, tc.want)
+		}
+	}
+	if got := ScaleOf(minplus.Inf, b, h); got != -1 {
+		t.Fatalf("ScaleOf(Inf) = %d, want -1", got)
+	}
+}
+
+func TestScaledDiameterBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := graph.RandomConnected(40, 4, graph.WeightRange{Min: 1, Max: 500}, rng)
+	exact := g.ExactAPSP()
+	h := 6
+	sc, err := Build(g.AsDirected(), h, 0.5, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.B != 4 {
+		t.Fatalf("B = %d, want 4", sc.B)
+	}
+	for gi, sg := range sc.Graphs {
+		if d := sg.WeightedDiameter(); d > sc.Cap {
+			t.Fatalf("graph %d: diameter %d exceeds cap %d", gi, d, sc.Cap)
+		}
+		if err := sg.RequirePositiveWeights(); err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+	}
+}
+
+func TestCombineGuarantees(t *testing.T) {
+	// With exact per-scale estimates (l=1), η ≥ d everywhere and
+	// η ≤ (1+ε)·d on pairs with ≤h-hop shortest paths.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomConnected(36, 4, graph.WeightRange{Min: 1, Max: 200}, rng)
+		exact := g.ExactAPSP()
+		n := g.N()
+		h := 5
+		delta := hApprox(exact, float64(h), rng) // an h-approximation
+		eps := 0.5
+		sc, err := Build(g.AsDirected(), h, eps, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perGraph := make([]*minplus.Dense, len(sc.Graphs))
+		for i, sg := range sc.Graphs {
+			perGraph[i] = sg.ExactAPSP()
+		}
+		eta, err := sc.Combine(delta, perGraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := sc.CombinedFactor(1)
+		for u := 0; u < n; u++ {
+			hop := g.HopLimited(u, h)
+			for v := 0; v < n; v++ {
+				d := exact.At(u, v)
+				e := eta.At(u, v)
+				if e < d {
+					t.Fatalf("trial %d: η(%d,%d)=%d below d=%d", trial, u, v, e, d)
+				}
+				if u != v && hop[v] == d { // shortest path within h hops
+					if float64(e) > bound*float64(d)+1e-9 {
+						t.Fatalf("trial %d: η(%d,%d)=%d exceeds (1+ε)d=%v",
+							trial, u, v, e, bound*float64(d))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCombineWithApproxPerScale(t *testing.T) {
+	// l = 2 estimates per scale: bound becomes (1+ε)·2.
+	rng := rand.New(rand.NewSource(73))
+	g := graph.RandomConnected(30, 4, graph.WeightRange{Min: 1, Max: 100}, rng)
+	exact := g.ExactAPSP()
+	h := 4
+	delta := hApprox(exact, 3, rng)
+	sc, err := Build(g.AsDirected(), h, 0.25, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := int64(2)
+	perGraph := make([]*minplus.Dense, len(sc.Graphs))
+	for i, sg := range sc.Graphs {
+		perGraph[i] = sg.ExactAPSP()
+		perGraph[i].Scale(l)
+		perGraph[i].SetDiagZero()
+	}
+	eta, err := sc.Combine(delta, perGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := sc.CombinedFactor(float64(l))
+	for u := 0; u < g.N(); u++ {
+		hop := g.HopLimited(u, h)
+		for v := 0; v < g.N(); v++ {
+			d := exact.At(u, v)
+			e := eta.At(u, v)
+			if e < d {
+				t.Fatalf("η below distance at (%d,%d)", u, v)
+			}
+			if u != v && hop[v] == d && float64(e) > bound*float64(d)+1e-9 {
+				t.Fatalf("η(%d,%d)=%d exceeds %v·d=%v", u, v, e, bound, bound*float64(d))
+			}
+		}
+	}
+}
+
+func TestDeduplicationOfHighScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	g := graph.RandomConnected(30, 4, graph.WeightRange{Min: 1, Max: 9}, rng)
+	exact := g.ExactAPSP()
+	// Inflate delta to force many scales.
+	delta := exact.Clone()
+	delta.Scale(1 << 12)
+	delta.SetDiagZero()
+	sc, err := Build(g.AsDirected(), 3, 0.5, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumScales < 8 {
+		t.Fatalf("expected many scales, got %d", sc.NumScales)
+	}
+	if len(sc.Graphs) >= sc.NumScales {
+		t.Fatalf("expected deduplication: %d graphs for %d scales",
+			len(sc.Graphs), sc.NumScales)
+	}
+	// All-ones tail: the last distinct graph must have unit weights.
+	last := sc.Graphs[len(sc.Graphs)-1]
+	for u := 0; u < last.N(); u++ {
+		for _, a := range last.Out(u) {
+			if a.W != 1 {
+				t.Fatalf("tail graph has non-unit weight %d", a.W)
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.NewDirected(3)
+	d := minplus.NewDense(3)
+	if _, err := Build(g, 0, 0.5, d); err == nil {
+		t.Fatal("h=0 must error")
+	}
+	if _, err := Build(g, 2, 0, d); err == nil {
+		t.Fatal("eps=0 must error")
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	g := graph.RandomConnected(10, 3, graph.UnitWeights, rng)
+	exact := g.ExactAPSP()
+	sc, err := Build(g.AsDirected(), 2, 0.5, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Combine(exact, nil); err == nil {
+		t.Fatal("wrong estimate count must error")
+	}
+}
+
+func TestScaledGraphPreservesCapInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	g := graph.RandomConnected(20, 3, graph.WeightRange{Min: 1, Max: 50}, rng).AsDirected()
+	g.SetCap(10)
+	exact := g.ExactAPSP()
+	sc, err := Build(g, 3, 0.5, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale 0 keeps the input cap of 10 (tighter than B·h² = 36).
+	if got := sc.Graphs[sc.GraphIndex[0]].Cap(); got != 10 {
+		t.Fatalf("scale-0 cap = %d, want 10", got)
+	}
+}
+
+func TestPropertyScaleSelection(t *testing.T) {
+	// For any finite value and parameters: value < 2^i·B·h², and when i ≥ 1,
+	// value ≥ 2^{i-1}·B·h² — the uniqueness condition of the lemma.
+	f := func(raw int64, bRaw uint8, hRaw uint8) bool {
+		value := raw
+		if value < 0 {
+			value = -value
+		}
+		value %= 1 << 40
+		b := int64(bRaw%16) + 1
+		h := int(hRaw%8) + 1
+		i := ScaleOf(value, b, h)
+		if i < 0 {
+			return false
+		}
+		threshold := b * int64(h) * int64(h)
+		upper := threshold << uint(i)
+		if value >= upper {
+			return false
+		}
+		if i >= 1 && value < upper/2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCombineDominatesDistances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		g := graph.RandomConnected(n, 3, graph.WeightRange{Min: 1, Max: 100}, rng)
+		exact := g.ExactAPSP()
+		h := 2 + rng.Intn(4)
+		delta := hApprox(exact, float64(h), rng)
+		sc, err := Build(g.AsDirected(), h, 0.25+rng.Float64(), delta)
+		if err != nil {
+			return false
+		}
+		perGraph := make([]*minplus.Dense, len(sc.Graphs))
+		for i, sg := range sc.Graphs {
+			perGraph[i] = sg.ExactAPSP()
+		}
+		eta, err := sc.Combine(delta, perGraph)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if eta.At(u, v) < exact.At(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+package skeleton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+)
+
+// exactLists returns the true k-nearest lists with exact distances (the
+// Lemma 3.4 setting: a = 1).
+func exactLists(g *graph.Graph, k int) [][]graph.NodeDist {
+	return g.KNearest(k)
+}
+
+// checkEta asserts d ≤ η ≤ bound·d for all pairs.
+func checkEta(t *testing.T, g *graph.Graph, eta *minplus.Dense, bound float64) {
+	t.Helper()
+	exact := g.ExactAPSP()
+	n := g.N()
+	worst := 1.0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			d := exact.At(u, v)
+			e := eta.At(u, v)
+			if minplus.IsInf(d) {
+				continue
+			}
+			if e < d {
+				t.Fatalf("η(%d,%d)=%d below distance %d", u, v, e, d)
+			}
+			if d == 0 {
+				if e != 0 {
+					t.Fatalf("η(%d,%d)=%d for zero distance", u, v, e)
+				}
+				continue
+			}
+			r := float64(e) / float64(d)
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > bound+1e-9 {
+		t.Fatalf("max η ratio %.3f exceeds proven bound %.3f", worst, bound)
+	}
+}
+
+func buildExact(t *testing.T, g *graph.Graph, k int, seed int64) (*cc.Clique, *Skeleton) {
+	t.Helper()
+	clq := cc.New(g.N(), 1)
+	sk, err := Build(clq, Input{
+		G:     g,
+		K:     k,
+		A:     1,
+		Lists: exactLists(g, k),
+		Rng:   rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clq, sk
+}
+
+func TestSkeletonExactListsEta7(t *testing.T) {
+	// Lemma 3.4 with l=1 (exact APSP on G_S): η is a 7-approximation.
+	rng := rand.New(rand.NewSource(61))
+	gens := map[string]*graph.Graph{
+		"random":    graph.RandomConnected(60, 5, graph.WeightRange{Min: 1, Max: 30}, rng),
+		"grid":      graph.Grid(8, 8, graph.WeightRange{Min: 1, Max: 9}, rng),
+		"clustered": graph.Clustered(64, 6, 4, graph.WeightRange{Min: 1, Max: 20}, rng),
+		"path":      graph.Path(50, graph.WeightRange{Min: 1, Max: 9}, rng),
+	}
+	for name, g := range gens {
+		k := int(math.Sqrt(float64(g.N())))
+		clq, sk := buildExact(t, g, k, 101)
+		eta, err := sk.Translate(clq, sk.GS.ExactAPSP())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkEta(t, g, eta, TranslationFactor(1, 1))
+		if v := clq.Metrics().Violations; len(v) != 0 {
+			t.Fatalf("%s: violations %v", name, v)
+		}
+	}
+}
+
+func TestSkeletonManySeeds(t *testing.T) {
+	// The 7la² bound must hold for every hitting-set outcome.
+	base := rand.New(rand.NewSource(62))
+	g := graph.RandomConnected(50, 4, graph.WeightRange{Min: 1, Max: 25}, base)
+	k := 7
+	for seed := int64(0); seed < 10; seed++ {
+		clq, sk := buildExact(t, g, k, seed)
+		eta, err := sk.Translate(clq, sk.GS.ExactAPSP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEta(t, g, eta, 7)
+	}
+}
+
+func TestSkeletonApproxListsFullLemma(t *testing.T) {
+	// Lemma 6.1 with a-approximate lists from a uniform a-approximation:
+	// η must stay within 7·l·a².
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.RandomConnected(44, 4, graph.WeightRange{Min: 1, Max: 20}, rng)
+		exact := g.ExactAPSP()
+		a := 1.5 + rng.Float64()
+		est := minplus.NewDense(g.N())
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				d := exact.At(u, v)
+				val := int64(math.Floor(float64(d) * (1 + rng.Float64()*(a-1))))
+				if val < d {
+					val = d
+				}
+				est.Set(u, v, val)
+				est.Set(v, u, val)
+			}
+			est.Set(u, u, 0)
+		}
+		k := 6
+		lists := ListsFromEstimate(est, k)
+		if err := VerifyConditions(lists, exact, a); err != nil {
+			t.Fatalf("trial %d: preconditions: %v", trial, err)
+		}
+		clq := cc.New(g.N(), 1)
+		sk, err := Build(clq, Input{G: g, K: k, A: a, Lists: lists, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eta, err := sk.Translate(clq, sk.GS.ExactAPSP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEta(t, g, eta, TranslationFactor(1, a))
+	}
+}
+
+func TestSkeletonWithSpannerApproxOnGS(t *testing.T) {
+	// l > 1: approximate G_S APSP by scaling exact distances by l; η must
+	// stay within 7·l.
+	rng := rand.New(rand.NewSource(64))
+	g := graph.RandomConnected(56, 5, graph.WeightRange{Min: 1, Max: 15}, rng)
+	clq, sk := buildExact(t, g, 7, 202)
+	l := int64(3)
+	approxGS := sk.GS.ExactAPSP().Clone()
+	approxGS.Scale(l)
+	approxGS.SetDiagZero()
+	eta, err := sk.Translate(clq, approxGS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEta(t, g, eta, TranslationFactor(float64(l), 1))
+}
+
+func TestSkeletonSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	n := 400
+	g := graph.RandomConnected(n, 6, graph.WeightRange{Min: 1, Max: 9}, rng)
+	for _, k := range []int{8, 16, 40} {
+		clq, sk := buildExact(t, g, k, 303)
+		_ = clq
+		bound := 6 * float64(n) * math.Log(float64(k)) / float64(k)
+		if got := float64(len(sk.Nodes)); got > bound {
+			t.Fatalf("k=%d: |S| = %v exceeds %v", k, got, bound)
+		}
+	}
+}
+
+func TestSkeletonSizeShrinksWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	g := graph.RandomConnected(300, 5, graph.WeightRange{Min: 1, Max: 9}, rng)
+	_, sk8 := buildExact(t, g, 8, 1)
+	_, sk64 := buildExact(t, g, 64, 1)
+	if len(sk64.Nodes) >= len(sk8.Nodes) {
+		t.Fatalf("|S| must shrink as k grows: k=8 → %d, k=64 → %d",
+			len(sk8.Nodes), len(sk64.Nodes))
+	}
+}
+
+func TestGSDistancesDominateG(t *testing.T) {
+	// d_GS(c(u),c(v)) must never undercut the true distance in G.
+	rng := rand.New(rand.NewSource(67))
+	g := graph.RandomConnected(40, 5, graph.WeightRange{Min: 1, Max: 20}, rng)
+	_, sk := buildExact(t, g, 6, 404)
+	exact := g.ExactAPSP()
+	gsAPSP := sk.GS.ExactAPSP()
+	for i, si := range sk.Nodes {
+		for j, sj := range sk.Nodes {
+			if gsAPSP.At(i, j) < exact.At(si, sj) {
+				t.Fatalf("d_GS(%d,%d)=%d < d_G=%d", si, sj, gsAPSP.At(i, j), exact.At(si, sj))
+			}
+		}
+	}
+}
+
+func TestSkeletonOnCappedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	g := graph.RandomConnected(36, 4, graph.WeightRange{Min: 2, Max: 30}, rng)
+	g.SetCap(25)
+	k := 6
+	clq, sk := buildExact(t, g, k, 505)
+	eta, err := sk.Translate(clq, sk.GS.ExactAPSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEta(t, g, eta, 7)
+	if v := clq.Metrics().Violations; len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestSkeletonConstantRounds(t *testing.T) {
+	rounds := make(map[int]int64)
+	for _, n := range []int{64, 144, 256} {
+		rng := rand.New(rand.NewSource(69))
+		g := graph.RandomConnected(n, 5, graph.WeightRange{Min: 1, Max: 9}, rng)
+		k := int(math.Sqrt(float64(n)))
+		clq, sk := buildExact(t, g, k, 606)
+		if _, err := sk.Translate(clq, sk.GS.ExactAPSP()); err != nil {
+			t.Fatal(err)
+		}
+		m := clq.Metrics()
+		if len(m.Violations) != 0 {
+			t.Fatalf("n=%d: violations %v", n, m.Violations)
+		}
+		rounds[n] = m.Rounds
+	}
+	if rounds[256] > rounds[64]+6 {
+		t.Fatalf("rounds grew with n: %v", rounds)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	rng := rand.New(rand.NewSource(1))
+	clq := cc.New(4, 1)
+	if _, err := Build(clq, Input{G: g, K: 2, A: 1, Lists: make([][]graph.NodeDist, 3), Rng: rng}); err == nil {
+		t.Fatal("wrong list count must error")
+	}
+	if _, err := Build(clq, Input{G: g, K: 0, A: 1, Lists: make([][]graph.NodeDist, 4), Rng: rng}); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := Build(clq, Input{G: g, K: 2, A: 0.5, Lists: make([][]graph.NodeDist, 4), Rng: rng}); err == nil {
+		t.Fatal("a<1 must error")
+	}
+	lists := make([][]graph.NodeDist, 4)
+	if _, err := Build(clq, Input{G: g, K: 2, A: 1, Lists: lists, Rng: rng}); err == nil {
+		t.Fatal("empty lists must error")
+	}
+}
+
+func TestVerifyConditions(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights, rand.New(rand.NewSource(2)))
+	exact := g.ExactAPSP()
+	lists := exactLists(g, 3)
+	if err := VerifyConditions(lists, exact, 1); err != nil {
+		t.Fatalf("exact lists must verify: %v", err)
+	}
+	// Corrupt a δ value below the distance: C1 violation.
+	bad := exactLists(g, 3)
+	bad[0][2].Dist = 0
+	if err := VerifyConditions(bad, exact, 1); err == nil {
+		t.Fatal("expected C1 violation")
+	}
+}
+
+func TestTranslateDimensionCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(20, 4, graph.WeightRange{Min: 1, Max: 9}, rng)
+	clq, sk := buildExact(t, g, 4, 707)
+	if _, err := sk.Translate(clq, minplus.NewDense(len(sk.Nodes)+1)); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestListsFromEstimate(t *testing.T) {
+	est := minplus.NewDense(4)
+	est.SetDiagZero()
+	est.Set(0, 1, 5)
+	est.Set(0, 2, 3)
+	est.Set(0, 3, 9)
+	lists := ListsFromEstimate(est, 2)
+	if len(lists[0]) != 2 || lists[0][0].Node != 0 || lists[0][1].Node != 2 {
+		t.Fatalf("lists[0] = %v", lists[0])
+	}
+}
+
+func TestGreedyHittingSetDeterministicAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	g := graph.RandomConnected(80, 5, graph.WeightRange{Min: 1, Max: 20}, rng)
+	k := 8
+	lists := exactLists(g, k)
+	build := func(seed int64) *Skeleton {
+		clq := cc.New(g.N(), 1)
+		sk, err := Build(clq, Input{
+			G: g, K: k, A: 1, Lists: lists,
+			Rng: rand.New(rand.NewSource(seed)), Deterministic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sk
+	}
+	s1, s2 := build(1), build(999)
+	if len(s1.Nodes) != len(s2.Nodes) {
+		t.Fatalf("deterministic mode depends on seed: %d vs %d nodes", len(s1.Nodes), len(s2.Nodes))
+	}
+	for i := range s1.Nodes {
+		if s1.Nodes[i] != s2.Nodes[i] {
+			t.Fatal("deterministic hitting sets differ across seeds")
+		}
+	}
+	// Coverage: every list hit.
+	inS := make(map[int]bool, len(s1.Nodes))
+	for _, v := range s1.Nodes {
+		inS[v] = true
+	}
+	for u, l := range lists {
+		hit := false
+		for _, nd := range l {
+			if inS[nd.Node] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("list of node %d not hit", u)
+		}
+	}
+}
+
+func TestDeterministicSkeletonEtaBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	g := graph.RandomConnected(60, 5, graph.WeightRange{Min: 1, Max: 25}, rng)
+	clq := cc.New(g.N(), 1)
+	sk, err := Build(clq, Input{
+		G: g, K: 8, A: 1, Lists: exactLists(g, 8),
+		Rng: rng, Deterministic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta, err := sk.Translate(clq, sk.GS.ExactAPSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEta(t, g, eta, 7)
+}
+
+func TestGreedyHittingSetSizeComparable(t *testing.T) {
+	// Greedy should be in the same ballpark as (often smaller than) the
+	// sampled hitting set.
+	rng := rand.New(rand.NewSource(72))
+	g := graph.RandomConnected(200, 5, graph.WeightRange{Min: 1, Max: 9}, rng)
+	k := 14
+	lists := exactLists(g, k)
+	clq := cc.New(g.N(), 1)
+	det, err := Build(clq, Input{G: g, K: k, A: 1, Lists: lists, Rng: rng, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Build(clq, Input{G: g, K: k, A: 1, Lists: lists, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Nodes) > 2*len(rnd.Nodes) {
+		t.Fatalf("greedy set (%d) much larger than sampled (%d)", len(det.Nodes), len(rnd.Nodes))
+	}
+}

@@ -1,0 +1,26 @@
+package spanner
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+)
+
+func BenchmarkBaswanaSen(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnected(256, 10, graph.WeightRange{Min: 1, Max: 50}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaswanaSen(g, 3, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(256, 10, graph.WeightRange{Min: 1, Max: 50}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(g, 3)
+	}
+}

@@ -1,0 +1,29 @@
+package cliqueapsp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+)
+
+// WriteTo serializes the graph in the package's plain edge-list format
+// ("c …" comments, "p n m" problem line, "e u v w" edges) — readable back
+// with ReadGraph. It returns the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	return g.inner.WriteTo(w)
+}
+
+// ReadGraph parses a graph previously written with WriteTo (or hand-written
+// in the same format). Only undirected graphs are valid inputs for the APSP
+// algorithms, so directed files are rejected.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	inner, err := graph.ReadGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	if inner.Directed() {
+		return nil, fmt.Errorf("cliqueapsp: directed graphs are not valid APSP inputs")
+	}
+	return &Graph{inner: inner}, nil
+}

@@ -1,0 +1,137 @@
+package cliqueapsp
+
+import (
+	"fmt"
+)
+
+// NextHopTables derives greedy next-hop routing tables from a distance
+// estimate: table[u][v] is the neighbor x of u minimizing w(u,x) + δ(x,v),
+// or -1 when v is unreachable from u's viewpoint. This is the classic
+// application of (approximate) APSP to network routing that motivates the
+// problem (paper §1).
+//
+// The distances may come from any Run result; with exact distances the
+// tables route along true shortest paths.
+func NextHopTables(g *Graph, distances [][]int64) ([][]int, error) {
+	n := g.N()
+	if len(distances) != n {
+		return nil, fmt.Errorf("cliqueapsp: %d distance rows for %d nodes", len(distances), n)
+	}
+	adj := adjacency(g)
+	table := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if len(distances[u]) != n {
+			return nil, fmt.Errorf("cliqueapsp: row %d has %d entries, want %d", u, len(distances[u]), n)
+		}
+		table[u] = make([]int, n)
+		for v := 0; v < n; v++ {
+			if u == v {
+				table[u][v] = u
+				continue
+			}
+			best, bestCost := -1, int64(0)
+			for _, a := range adj[u] {
+				d := distances[a.to][v]
+				if d >= Inf {
+					continue
+				}
+				cost := a.w + d
+				if best == -1 || cost < bestCost || (cost == bestCost && a.to < best) {
+					best, bestCost = a.to, cost
+				}
+			}
+			table[u][v] = best
+		}
+	}
+	return table, nil
+}
+
+// ForwardingStats summarizes a greedy-forwarding simulation over next-hop
+// tables.
+type ForwardingStats struct {
+	// Delivered and Failed count source/destination pairs; failures are
+	// routing loops or dead ends (possible when tables come from
+	// approximate distances).
+	Delivered, Failed int
+	// WorstStretch and MeanStretch compare realized path length to the true
+	// shortest path, over delivered pairs.
+	WorstStretch, MeanStretch float64
+}
+
+// SimulateForwarding forwards one packet per connected (source,
+// destination) pair along the tables and measures the realized stretch
+// against exact distances. A TTL of 4n guards against loops.
+func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
+	n := g.N()
+	if len(table) != n {
+		return ForwardingStats{}, fmt.Errorf("cliqueapsp: %d table rows for %d nodes", len(table), n)
+	}
+	adj := adjacency(g)
+	weight := func(u, v int) (int64, bool) {
+		for _, a := range adj[u] {
+			if a.to == v {
+				return a.w, true
+			}
+		}
+		return 0, false
+	}
+	exact := Exact(g)
+	var stats ForwardingStats
+	var sum float64
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || exact[u][v] >= Inf {
+				continue
+			}
+			cur, cost, ok := u, int64(0), true
+			for ttl := 0; cur != v; ttl++ {
+				if ttl > 4*n {
+					ok = false
+					break
+				}
+				nh := table[cur][v]
+				if nh < 0 || nh == cur {
+					ok = false
+					break
+				}
+				w, exists := weight(cur, nh)
+				if !exists {
+					return ForwardingStats{}, fmt.Errorf("cliqueapsp: table routes %d->%d over a non-edge", cur, nh)
+				}
+				cost += w
+				cur = nh
+			}
+			if !ok {
+				stats.Failed++
+				continue
+			}
+			stats.Delivered++
+			stretch := 1.0
+			if exact[u][v] > 0 {
+				stretch = float64(cost) / float64(exact[u][v])
+			}
+			sum += stretch
+			if stretch > stats.WorstStretch {
+				stats.WorstStretch = stretch
+			}
+		}
+	}
+	if stats.Delivered > 0 {
+		stats.MeanStretch = sum / float64(stats.Delivered)
+	}
+	return stats, nil
+}
+
+type wArc struct {
+	to int
+	w  int64
+}
+
+func adjacency(g *Graph) [][]wArc {
+	adj := make([][]wArc, g.N())
+	for _, e := range g.Edges() {
+		adj[e.U] = append(adj[e.U], wArc{to: e.V, w: e.W})
+		adj[e.V] = append(adj[e.V], wArc{to: e.U, w: e.W})
+	}
+	return adj
+}

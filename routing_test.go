@@ -1,0 +1,111 @@
+package cliqueapsp
+
+import (
+	"testing"
+)
+
+func TestNextHopTablesExactDistancesRouteOptimally(t *testing.T) {
+	g := RandomGraph(48, 30, 11)
+	table, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SimulateForwarding(g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("%d failures with exact tables", stats.Failed)
+	}
+	if stats.WorstStretch > 1.0+1e-9 {
+		t.Fatalf("worst stretch %.4f with exact tables, want 1.0", stats.WorstStretch)
+	}
+}
+
+func TestNextHopTablesApproximateDistances(t *testing.T) {
+	g := RandomGraph(64, 40, 13)
+	res, err := Run(g, Options{Algorithm: AlgConstant, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := NextHopTables(g, res.Distances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SimulateForwarding(g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Greedy forwarding on estimates can loop but delivered packets should
+	// dominate, and realized stretch should be modest.
+	if stats.Failed > stats.Delivered {
+		t.Fatalf("failures (%d) exceed deliveries (%d)", stats.Failed, stats.Delivered)
+	}
+	if stats.WorstStretch > 4*res.FactorBound {
+		t.Fatalf("worst stretch %.2f implausibly high", stats.WorstStretch)
+	}
+}
+
+func TestNextHopTablesSmallHandExample(t *testing.T) {
+	// 0 -1- 1 -1- 2 and a heavy direct 0-2 edge: next hop 0→2 must be 1.
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 0, 2, 10)
+	table, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[0][2] != 1 {
+		t.Fatalf("next hop 0→2 = %d, want 1", table[0][2])
+	}
+	if table[0][0] != 0 {
+		t.Fatalf("self next hop = %d, want 0", table[0][0])
+	}
+}
+
+func TestNextHopTablesDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 1)
+	table, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[0][2] != -1 {
+		t.Fatalf("unreachable next hop = %d, want -1", table[0][2])
+	}
+	stats, err := SimulateForwarding(g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("disconnected pairs must be skipped, got %d failures", stats.Failed)
+	}
+}
+
+func TestNextHopTablesValidation(t *testing.T) {
+	g := RandomGraph(8, 5, 1)
+	if _, err := NextHopTables(g, make([][]int64, 3)); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	bad := make([][]int64, 8)
+	for i := range bad {
+		bad[i] = make([]int64, 2)
+	}
+	if _, err := NextHopTables(g, bad); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := SimulateForwarding(g, make([][]int, 2)); err == nil {
+		t.Fatal("wrong table size accepted")
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, u, v int, w int64) {
+	t.Helper()
+	if err := g.AddEdge(u, v, w); err != nil {
+		t.Fatal(err)
+	}
+}
