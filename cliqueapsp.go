@@ -6,28 +6,30 @@
 // k-nearest β-hopsets, the bin/h-combination k-nearest algorithm, skeleton
 // graphs, and the weight-scaling reduction.
 //
-// The public API runs any of the paper's algorithms (or the baselines they
-// are compared against) on a weighted undirected graph and reports the
-// distance estimates together with the simulated round/message accounting:
+// The public API is a reusable, concurrency-safe Engine that runs any
+// registered algorithm (the paper's results or the baselines they are
+// compared against) on a weighted undirected graph and reports the distance
+// estimates together with the simulated round/message accounting:
 //
 //	g := cliqueapsp.NewGraph(4)
 //	_ = g.AddEdge(0, 1, 3)
 //	_ = g.AddEdge(1, 2, 1)
 //	_ = g.AddEdge(2, 3, 2)
-//	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgConstant})
+//	eng := cliqueapsp.New()
+//	res, err := eng.Run(ctx, g, cliqueapsp.WithAlgorithm(cliqueapsp.AlgConstant))
 //
+// One Engine serves any number of concurrent Run calls; each run draws its
+// own reproducible seed (pin one with WithSeed), polls its context at phase
+// boundaries, and returns its estimate as a zero-copy DistanceMatrix view.
 // Algorithms always meet their round accounting; approximation guarantees
 // hold w.h.p. (the algorithms are Monte Carlo, like the paper's), and every
 // estimate dominates the true distances.
 package cliqueapsp
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"math"
-	"math/rand"
 
-	"github.com/congestedclique/cliqueapsp/internal/cc"
 	"github.com/congestedclique/cliqueapsp/internal/core"
 	"github.com/congestedclique/cliqueapsp/internal/graph"
 	"github.com/congestedclique/cliqueapsp/internal/minplus"
@@ -92,38 +94,11 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// Algorithm selects which algorithm Run executes.
-type Algorithm string
-
-const (
-	// AlgConstant is Theorem 1.1: (7⁴+ε)-approximation, O(log log log n)
-	// rounds, standard bandwidth. The default.
-	AlgConstant Algorithm = "constant"
-	// AlgTradeoff is Theorem 1.2: O(log^{2^-t} n)-approximation in O(t)
-	// rounds; set Options.T.
-	AlgTradeoff Algorithm = "tradeoff"
-	// AlgSmallDiameter is Theorem 7.1 (21-approximation, standard
-	// bandwidth), intended for small-weighted-diameter inputs.
-	AlgSmallDiameter Algorithm = "smalldiameter"
-	// AlgLargeBandwidth is Theorem 8.1: (7³+ε)-approximation in the
-	// Congested-Clique[log⁴n] model.
-	AlgLargeBandwidth Algorithm = "largebandwidth"
-	// AlgLogApprox is the Chechik–Zhang O(log n)-approximation baseline
-	// (Corollary 7.2): O(1) rounds via spanner broadcast.
-	AlgLogApprox Algorithm = "logapprox"
-	// AlgExact is the algebraic exact baseline: distance-product squaring at
-	// ⌈n^{1/3}⌉ rounds per product (CKK+19).
-	AlgExact Algorithm = "exact"
-)
-
-// Algorithms lists all supported algorithm names.
-func Algorithms() []Algorithm {
-	return []Algorithm{AlgConstant, AlgTradeoff, AlgSmallDiameter,
-		AlgLargeBandwidth, AlgLogApprox, AlgExact}
-}
-
-// Options configures Run. The zero value selects AlgConstant with default
-// accuracy and seed.
+// Options configures the deprecated one-shot Run. The zero value selects
+// AlgConstant with default accuracy and seed 0.
+//
+// Deprecated: construct an Engine with New and pass RunOptions to
+// Engine.Run instead.
 type Options struct {
 	// Algorithm to run; default AlgConstant.
 	Algorithm Algorithm
@@ -144,129 +119,31 @@ type Options struct {
 	Deterministic bool
 }
 
-// PhaseStat is the per-phase accounting of a run.
-type PhaseStat struct {
-	Name     string
-	Rounds   int64
-	Messages int64
-	Words    int64
-}
+// defaultEngine backs the deprecated one-shot Run wrapper.
+var defaultEngine = New()
 
-// Result reports a run's output and its simulated cost.
-type Result struct {
-	// Distances[u][v] is node u's estimate of d(u,v); Inf if unreachable.
-	// Every entry is ≥ the true distance.
-	Distances [][]int64
-	// FactorBound is the proven approximation factor of the estimates.
-	FactorBound float64
-	// Rounds, Messages and Words are the total simulated communication.
-	Rounds   int64
-	Messages int64
-	Words    int64
-	// Phases breaks the accounting down by algorithm phase.
-	Phases []PhaseStat
-	// Violations lists any Congested Clique load-budget violations detected
-	// by the simulator (empty for sound runs).
-	Violations []string
-}
-
-// Run executes the selected algorithm on g and returns its result. Graphs
-// with zero-weight edges are handled transparently through the Theorem 2.1
-// reduction.
+// Run executes the selected algorithm on g with a background context.
+//
+// Deprecated: use New and Engine.Run, which add context cancellation,
+// per-phase progress, per-run seed derivation, and concurrency safety. This
+// wrapper maps Options onto the equivalent RunOptions; per-seed results are
+// identical to the seed API's.
 func Run(g *Graph, opts Options) (*Result, error) {
-	if g == nil || g.inner == nil {
-		return nil, errors.New("cliqueapsp: nil graph")
-	}
-	if opts.Algorithm == "" {
-		opts.Algorithm = AlgConstant
-	}
-	if opts.Eps <= 0 {
-		opts.Eps = 0.1
-	}
-	if opts.T < 1 {
-		opts.T = 1
-	}
-	n := g.inner.N()
-	bw := opts.BandwidthWords
-	if bw <= 0 {
-		bw = 1
-		if opts.Algorithm == AlgLargeBandwidth {
-			l := math.Log2(float64(n))
-			bw = int(math.Ceil(l * l * l))
-			if bw < 1 {
-				bw = 1
-			}
-		}
-	}
-	cfg := core.Config{
-		Eps:           opts.Eps,
-		Rng:           rand.New(rand.NewSource(opts.Seed)),
-		Deterministic: opts.Deterministic,
-	}
-
-	var inner core.Algorithm
-	switch opts.Algorithm {
-	case AlgConstant:
-		inner = core.APSP
-	case AlgTradeoff:
-		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
-			return core.Tradeoff(c, gg, opts.T, cf)
-		}
-	case AlgSmallDiameter:
-		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
-			return core.SmallDiameterAPSP(c, gg, cf, false)
-		}
-	case AlgLargeBandwidth:
-		inner = core.LargeBandwidthAPSP
-	case AlgLogApprox:
-		inner = core.LogApprox
-	case AlgExact:
-		inner = func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
-			return core.ExactCliqueAPSP(c, gg), nil
-		}
-	default:
-		return nil, fmt.Errorf("cliqueapsp: unknown algorithm %q", opts.Algorithm)
-	}
-
-	clq := cc.New(n, bw)
-	est, err := core.WithZeroWeights(clq, g.inner, cfg, inner)
-	if err != nil {
-		return nil, err
-	}
-	return buildResult(est, clq.Metrics()), nil
-}
-
-func buildResult(est core.Estimate, m cc.Metrics) *Result {
-	n := est.D.N()
-	dist := make([][]int64, n)
-	for u := 0; u < n; u++ {
-		dist[u] = append([]int64(nil), est.D.Row(u)...)
-	}
-	res := &Result{
-		Distances:   dist,
-		FactorBound: est.Factor,
-		Rounds:      m.Rounds,
-		Messages:    m.Messages,
-		Words:       m.Words,
-		Violations:  append([]string(nil), m.Violations...),
-	}
-	for _, p := range m.Phases {
-		res.Phases = append(res.Phases, PhaseStat{
-			Name: p.Name, Rounds: p.Rounds, Messages: p.Messages, Words: p.Words,
-		})
-	}
-	return res
+	return defaultEngine.Run(context.Background(), g,
+		WithAlgorithm(opts.Algorithm),
+		WithSeed(opts.Seed),
+		WithT(opts.T),
+		WithEps(opts.Eps),
+		WithBandwidth(opts.BandwidthWords),
+		WithDeterministicRun(opts.Deterministic),
+	)
 }
 
 // Exact returns the exact distance matrix of g, computed centrally (no
-// simulated rounds) — the ground truth for Evaluate.
-func Exact(g *Graph) [][]int64 {
-	d := g.inner.ExactAPSP()
-	out := make([][]int64, g.inner.N())
-	for u := range out {
-		out[u] = append([]int64(nil), d.Row(u)...)
-	}
-	return out
+// simulated rounds) — the ground truth for Evaluate. The result is a
+// zero-copy view over freshly computed storage.
+func Exact(g *Graph) *DistanceMatrix {
+	return newDistanceView(g.inner.ExactAPSP())
 }
 
 // Quality summarizes estimate quality against exact distances.
@@ -281,16 +158,13 @@ type Quality struct {
 
 // Evaluate compares estimates (as returned in Result.Distances) against the
 // exact distances of g.
-func Evaluate(g *Graph, distances [][]int64) (Quality, error) {
-	n := g.inner.N()
-	if len(distances) != n {
-		return Quality{}, fmt.Errorf("cliqueapsp: %d rows for %d nodes", len(distances), n)
+func Evaluate(g *Graph, distances *DistanceMatrix) (Quality, error) {
+	if distances == nil {
+		return Quality{}, fmt.Errorf("cliqueapsp: nil distance matrix")
 	}
-	for u, row := range distances {
-		if len(row) != n {
-			return Quality{}, fmt.Errorf("cliqueapsp: row %d has %d entries, want %d", u, len(row), n)
-		}
+	if n := g.inner.N(); distances.N() != n {
+		return Quality{}, fmt.Errorf("cliqueapsp: %d×%d distances for %d nodes", distances.N(), distances.N(), n)
 	}
-	maxR, meanR, under := core.MeasureQuality(minplus.FromRows(distances), g.inner.ExactAPSP())
+	maxR, meanR, under := core.MeasureQuality(distances.dense(), g.inner.ExactAPSP())
 	return Quality{MaxRatio: maxR, MeanRatio: meanR, Underruns: under}, nil
 }

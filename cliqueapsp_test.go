@@ -31,6 +31,9 @@ func TestRunAllAlgorithmsSoundness(t *testing.T) {
 			if res.Rounds < 1 {
 				t.Fatal("no rounds charged")
 			}
+			if res.Algorithm != alg {
+				t.Fatalf("result algorithm %q, want %q", res.Algorithm, alg)
+			}
 		})
 	}
 }
@@ -42,9 +45,9 @@ func TestRunExactIsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	exact := Exact(g)
-	for u := range exact {
-		for v := range exact[u] {
-			if res.Distances[u][v] != exact[u][v] {
+	for u := 0; u < exact.N(); u++ {
+		for v := 0; v < exact.N(); v++ {
+			if res.Distances.At(u, v) != exact.At(u, v) {
 				t.Fatalf("exact mismatch at (%d,%d)", u, v)
 			}
 		}
@@ -67,13 +70,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	if r1.Rounds != r2.Rounds || r1.Messages != r2.Messages {
 		t.Fatalf("nondeterministic accounting: %v vs %v", r1.Rounds, r2.Rounds)
 	}
-	for u := range r1.Distances {
-		for v := range r1.Distances[u] {
-			if r1.Distances[u][v] != r2.Distances[u][v] {
-				t.Fatalf("nondeterministic estimate at (%d,%d)", u, v)
-			}
-		}
-	}
+	assertSameDistances(t, r1.Distances, r2.Distances)
 }
 
 func TestRunZeroWeightsTransparent(t *testing.T) {
@@ -160,14 +157,23 @@ func TestGenerateAllNames(t *testing.T) {
 
 func TestEvaluateValidation(t *testing.T) {
 	g := RandomGraph(8, 5, 1)
-	if _, err := Evaluate(g, make([][]int64, 3)); err == nil {
-		t.Fatal("wrong row count accepted")
+	if _, err := Evaluate(g, nil); err == nil {
+		t.Fatal("nil distances accepted")
 	}
-	bad := make([][]int64, 8)
-	for i := range bad {
-		bad[i] = make([]int64, 7)
+	small, err := DistancesFromSlices([][]int64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Evaluate(g, bad); err == nil {
+	if _, err := Evaluate(g, small); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestDistancesFromSlicesValidation(t *testing.T) {
+	if _, err := DistancesFromSlices(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := DistancesFromSlices([][]int64{{0, 1}, {1}}); err == nil {
 		t.Fatal("ragged matrix accepted")
 	}
 }
@@ -199,13 +205,7 @@ func TestRunDeterministicModeSeedIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u := range r1.Distances {
-		for v := range r1.Distances[u] {
-			if r1.Distances[u][v] != r2.Distances[u][v] {
-				t.Fatalf("deterministic mode differs across seeds at (%d,%d)", u, v)
-			}
-		}
-	}
+	assertSameDistances(t, r1.Distances, r2.Distances)
 	if r1.Rounds != r2.Rounds {
 		t.Fatalf("deterministic rounds differ: %d vs %d", r1.Rounds, r2.Rounds)
 	}
@@ -231,19 +231,26 @@ func TestPublicGraphIORoundTrip(t *testing.T) {
 	if got.N() != g.N() || got.NumEdges() != g.NumEdges() {
 		t.Fatalf("round trip: n=%d m=%d", got.N(), got.NumEdges())
 	}
-	e1, e2 := Exact(g), Exact(got)
-	for u := range e1 {
-		for v := range e1[u] {
-			if e1[u][v] != e2[u][v] {
-				t.Fatalf("distances changed at (%d,%d)", u, v)
-			}
-		}
-	}
+	assertSameDistances(t, Exact(g), Exact(got))
 }
 
 func TestReadGraphRejectsDirected(t *testing.T) {
 	input := "c cliqueapsp directed graph\np 3 1\ne 0 1 5\n"
 	if _, err := ReadGraph(strings.NewReader(input)); err == nil {
 		t.Fatal("directed graph accepted")
+	}
+}
+
+func assertSameDistances(t *testing.T, a, b *DistanceMatrix) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("dimension mismatch: %d vs %d", a.N(), b.N())
+	}
+	for u := 0; u < a.N(); u++ {
+		for v := 0; v < a.N(); v++ {
+			if a.At(u, v) != b.At(u, v) {
+				t.Fatalf("distances differ at (%d,%d): %d vs %d", u, v, a.At(u, v), b.At(u, v))
+			}
+		}
 	}
 }

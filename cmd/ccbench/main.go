@@ -16,8 +16,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"github.com/congestedclique/cliqueapsp/internal/experiments"
+	"github.com/congestedclique/cliqueapsp/internal/registry"
 )
 
 func main() {
@@ -27,8 +29,27 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		md    = flag.Bool("md", false, "emit Markdown instead of plain text")
+		list  = flag.Bool("list", false, "list experiments and the algorithm registry, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("algorithm registry (swept by t1/f1: headline + baselines):")
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  name\tfactor bound\trounds\tbandwidth\tbaseline")
+		for _, spec := range registry.All() {
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%s\t%v\n",
+				spec.Name, spec.FactorBound, spec.RoundClass, spec.Bandwidth, spec.Baseline)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	suite := experiments.Suite{Seed: *seed, Quick: *quick}
 	if *sizes != "" {

@@ -1,0 +1,228 @@
+package cliqueapsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"github.com/congestedclique/cliqueapsp/internal/cc"
+	"github.com/congestedclique/cliqueapsp/internal/core"
+	"github.com/congestedclique/cliqueapsp/internal/graph"
+	"github.com/congestedclique/cliqueapsp/internal/registry"
+)
+
+// Engine executes the registered algorithms. One Engine is safe for
+// concurrent use by any number of goroutines: it holds only immutable
+// per-run defaults and an atomic seed counter, and every Run builds its own
+// simulator, RNG and accounting. Construct with New; the zero value is not
+// usable.
+//
+//	eng := cliqueapsp.New()
+//	res, err := eng.Run(ctx, g, cliqueapsp.WithAlgorithm(cliqueapsp.AlgConstant))
+type Engine struct {
+	defaults runConfig
+	baseSeed int64
+	seedSeq  atomic.Uint64
+}
+
+// Option configures an Engine's per-run defaults at construction time.
+type Option func(*Engine)
+
+// WithDefaultAlgorithm sets the algorithm used when a Run does not select
+// one (the Engine's default is AlgConstant).
+func WithDefaultAlgorithm(a Algorithm) Option {
+	return func(e *Engine) { e.defaults.alg = a }
+}
+
+// WithDefaultEps sets the default accuracy slack of the scaling stages.
+func WithDefaultEps(eps float64) Option {
+	return func(e *Engine) { e.defaults.eps = eps }
+}
+
+// WithDefaultBandwidth sets a default bandwidth override in words per
+// ordered pair per round (0 keeps each algorithm's natural model).
+func WithDefaultBandwidth(words int) Option {
+	return func(e *Engine) { e.defaults.bandwidth = words }
+}
+
+// WithDeterministic makes runs fully deterministic by default (greedy
+// hitting sets instead of randomized ones; see Options.Deterministic).
+func WithDeterministic(det bool) Option {
+	return func(e *Engine) { e.defaults.deterministic = det }
+}
+
+// WithBaseSeed sets the base of the engine's per-run seed derivation.
+// Runs that do not pin a seed with WithSeed draw distinct, reproducible
+// seeds derived from this base and a per-engine counter.
+func WithBaseSeed(seed int64) Option {
+	return func(e *Engine) { e.baseSeed = seed }
+}
+
+// New returns an Engine with the given defaults applied over the package
+// defaults (AlgConstant, eps 0.1, randomized mode, base seed 1).
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		defaults: runConfig{alg: AlgConstant, eps: 0.1, t: 1},
+		baseSeed: 1,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// runConfig is the resolved per-run configuration.
+type runConfig struct {
+	alg           Algorithm
+	t             int
+	eps           float64
+	bandwidth     int
+	deterministic bool
+	seed          *int64
+	progress      ProgressFunc
+}
+
+// RunOption configures a single Engine.Run call.
+type RunOption func(*runConfig)
+
+// WithAlgorithm selects the algorithm for this run by registry name.
+func WithAlgorithm(a Algorithm) RunOption {
+	return func(c *runConfig) { c.alg = a }
+}
+
+// WithSeed pins the run's seed. Two runs of the same engine with the same
+// graph, options and seed produce identical estimates and accounting.
+func WithSeed(seed int64) RunOption {
+	return func(c *runConfig) { s := seed; c.seed = &s }
+}
+
+// WithT sets the Theorem 1.2 tradeoff parameter (AlgTradeoff only).
+func WithT(t int) RunOption {
+	return func(c *runConfig) { c.t = t }
+}
+
+// WithEps sets the accuracy slack of the scaling stages for this run.
+func WithEps(eps float64) RunOption {
+	return func(c *runConfig) { c.eps = eps }
+}
+
+// WithBandwidth overrides the model bandwidth in words per ordered pair per
+// round for this run (0 = the algorithm's natural model).
+func WithBandwidth(words int) RunOption {
+	return func(c *runConfig) { c.bandwidth = words }
+}
+
+// WithDeterministicRun toggles fully deterministic mode for this run.
+func WithDeterministicRun(det bool) RunOption {
+	return func(c *runConfig) { c.deterministic = det }
+}
+
+// ProgressFunc observes phase boundaries of a run. It is called
+// synchronously from the run's goroutine with the phase name; implementations
+// must not block for long and must be safe for whatever concurrency the
+// caller itself runs with.
+type ProgressFunc func(phase string)
+
+// WithProgress installs a per-phase progress callback for this run.
+func WithProgress(fn ProgressFunc) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
+// deriveSeed produces the run seed when none is pinned: a splitmix64 hash
+// of the base seed and a per-engine atomic counter, so concurrent runs draw
+// distinct but reproducible-per-value seeds.
+func (e *Engine) deriveSeed() int64 {
+	seq := e.seedSeq.Add(1)
+	z := uint64(e.baseSeed) + seq*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes one algorithm on g. The context is polled at phase
+// boundaries: cancellation or deadline expiry aborts the run between phases
+// and returns the context's error. Graphs with zero-weight edges are
+// handled transparently through the Theorem 2.1 reduction.
+func (e *Engine) Run(ctx context.Context, g *Graph, opts ...RunOption) (*Result, error) {
+	if e == nil {
+		return nil, errors.New("cliqueapsp: nil engine (construct with New)")
+	}
+	if g == nil || g.inner == nil {
+		return nil, errors.New("cliqueapsp: nil graph")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rc := e.defaults
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if rc.alg == "" {
+		rc.alg = AlgConstant
+	}
+	if rc.eps <= 0 {
+		rc.eps = 0.1
+	}
+	if rc.t < 1 {
+		rc.t = 1
+	}
+
+	spec, ok := registry.Lookup(string(rc.alg))
+	if !ok {
+		return nil, fmt.Errorf("cliqueapsp: unknown algorithm %q (registered: %s)",
+			rc.alg, strings.Join(registry.SortedNames(), ", "))
+	}
+
+	var seed int64
+	if rc.seed != nil {
+		seed = *rc.seed
+	} else {
+		seed = e.deriveSeed()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	n := g.inner.N()
+	bw := spec.BandwidthFor(n, rc.bandwidth)
+	cfg := core.Config{
+		Eps:           rc.eps,
+		Rng:           rand.New(rand.NewSource(seed)),
+		Deterministic: rc.deterministic,
+		Ctx:           ctx,
+		Progress:      rc.progress,
+	}
+	params := registry.Params{T: rc.t}
+	inner := func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {
+		return spec.Run(c, gg, cf, params)
+	}
+
+	clq := cc.New(n, bw)
+	est, err := core.WithZeroWeights(clq, g.inner, cfg, inner)
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(rc.alg, seed, est, clq.Metrics()), nil
+}
+
+func buildResult(alg Algorithm, seed int64, est core.Estimate, m cc.Metrics) *Result {
+	res := &Result{
+		Distances:   newDistanceView(est.D),
+		FactorBound: est.Factor,
+		Algorithm:   alg,
+		Seed:        seed,
+		Rounds:      m.Rounds,
+		Messages:    m.Messages,
+		Words:       m.Words,
+		Violations:  append([]string(nil), m.Violations...),
+	}
+	for _, p := range m.Phases {
+		res.Phases = append(res.Phases, PhaseStat{
+			Name: p.Name, Rounds: p.Rounds, Messages: p.Messages, Words: p.Words,
+		})
+	}
+	return res
+}

@@ -1,29 +1,49 @@
 package cliqueapsp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 )
 
-// The basic flow: build a graph, run an algorithm, read estimates.
+// The basic flow: build a graph, run an algorithm on a shared Engine, read
+// estimates through the zero-copy view.
+func ExampleEngine_Run() {
+	g := cliqueapsp.NewGraph(4)
+	_ = g.AddEdge(0, 1, 3)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(2, 3, 2)
+
+	eng := cliqueapsp.New()
+	// The exact baseline is deterministic, so its output is stable.
+	res, err := eng.Run(context.Background(), g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgExact))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("d(0,3) =", res.Distances.At(0, 3))
+	fmt.Println("factor =", res.FactorBound)
+	// Output:
+	// d(0,3) = 6
+	// factor = 1
+}
+
+// The deprecated one-shot wrapper still works and maps onto the Engine.
 func ExampleRun() {
 	g := cliqueapsp.NewGraph(4)
 	_ = g.AddEdge(0, 1, 3)
 	_ = g.AddEdge(1, 2, 1)
 	_ = g.AddEdge(2, 3, 2)
 
-	// The exact baseline is deterministic, so its output is stable.
 	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgExact})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("d(0,3) =", res.Distances[0][3])
-	fmt.Println("factor =", res.FactorBound)
+	fmt.Println("d(0,3) =", res.Distances.At(0, 3))
 	// Output:
 	// d(0,3) = 6
-	// factor = 1
 }
 
 // Distance estimates translate directly into routing tables.
@@ -45,7 +65,9 @@ func ExampleNextHopTables() {
 // Estimates from any algorithm can be scored against the exact distances.
 func ExampleEvaluate() {
 	g := cliqueapsp.RandomGraph(32, 20, 7)
-	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgExact})
+	eng := cliqueapsp.New()
+	res, err := eng.Run(context.Background(), g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgExact))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,4 +78,16 @@ func ExampleEvaluate() {
 	fmt.Printf("max ratio %.1f, underruns %d\n", q.MaxRatio, q.Underruns)
 	// Output:
 	// max ratio 1.0, underruns 0
+}
+
+// The registry drives discovery: every registered algorithm reports its
+// metadata.
+func ExampleAlgorithmInfos() {
+	for _, info := range cliqueapsp.AlgorithmInfos() {
+		if info.Name == cliqueapsp.AlgConstant {
+			fmt.Println(info.Name, "—", info.RoundClass)
+		}
+	}
+	// Output:
+	// constant — O(log log log n)
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	exact := cliqueapsp.Exact(g)
 	mismatches := 0
 	for v := range dist {
-		if dist[v] != exact[0][v] {
+		if dist[v] != exact.At(0, v) {
 			mismatches++
 		}
 	}
@@ -52,7 +53,11 @@ func main() {
 
 	// Contrast: the paper's pipeline computes *all* pairs in rounds
 	// independent of the hop radius.
-	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgLogApprox, Seed: 1})
+	eng := cliqueapsp.New()
+	res, err := eng.Run(context.Background(), g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgLogApprox),
+		cliqueapsp.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

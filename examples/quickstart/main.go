@@ -1,8 +1,10 @@
 // Quickstart: build a small weighted graph, run the paper's constant-factor
-// APSP approximation (Theorem 1.1), and compare against exact distances.
+// APSP approximation (Theorem 1.1) through the Engine API, and compare
+// against exact distances.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,10 +28,11 @@ func main() {
 		}
 	}
 
-	res, err := cliqueapsp.Run(g, cliqueapsp.Options{
-		Algorithm: cliqueapsp.AlgConstant,
-		Seed:      42,
-	})
+	eng := cliqueapsp.New()
+	res, err := eng.Run(context.Background(), g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgConstant),
+		cliqueapsp.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +43,7 @@ func main() {
 	fmt.Println("pair      exact  estimate")
 	for u := 0; u < g.N(); u++ {
 		for v := u + 1; v < g.N(); v++ {
-			fmt.Printf("(%d,%d)  %7d  %8d\n", u, v, exact[u][v], res.Distances[u][v])
+			fmt.Printf("(%d,%d)  %7d  %8d\n", u, v, exact.At(u, v), res.Distances.At(u, v))
 		}
 	}
 

@@ -7,10 +7,13 @@
 // w(u,x) + δ(x,v) over the approximate distances δ; packets are then
 // forwarded greedily along those tables. The example compares the realized
 // forwarding stretch of tables built from the Theorem 1.1 estimates against
-// tables built from the O(1)-round CZ22 baseline estimates.
+// tables built from the O(1)-round CZ22 baseline estimates. The table
+// sources come from the algorithm registry, so a newly registered
+// algorithm can be compared by adding its name to the slice.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,11 +29,16 @@ func main() {
 	fmt.Printf("network: scale-free, n=%d, m=%d edges\n\n", g.N(), g.NumEdges())
 	fmt.Println("table source            rounds  worst stretch  mean stretch  delivered  failed")
 
+	ctx := context.Background()
+	eng := cliqueapsp.New()
 	for _, alg := range []cliqueapsp.Algorithm{
 		cliqueapsp.AlgConstant,
 		cliqueapsp.AlgLogApprox,
 	} {
-		res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: alg, Seed: 5})
+		res, err := eng.Run(ctx, g,
+			cliqueapsp.WithAlgorithm(alg),
+			cliqueapsp.WithSeed(5),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

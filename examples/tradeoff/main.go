@@ -1,10 +1,11 @@
 // Tradeoff sweeps Theorem 1.2's parameter t on one graph: more rounds buy a
 // doubly-exponentially better approximation guarantee. This is the paper's
 // "flexibility" pitch — the same pipeline serves latency-critical and
-// accuracy-critical deployments.
+// accuracy-critical deployments. One shared Engine serves every run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,12 +20,13 @@ func main() {
 	fmt.Printf("workload: clustered graph, n=%d, m=%d\n\n", g.N(), g.NumEdges())
 	fmt.Println("    t  rounds  proven bound  measured max  measured mean")
 
+	ctx := context.Background()
+	eng := cliqueapsp.New(cliqueapsp.WithDefaultAlgorithm(cliqueapsp.AlgTradeoff))
 	for t := 1; t <= 4; t++ {
-		res, err := cliqueapsp.Run(g, cliqueapsp.Options{
-			Algorithm: cliqueapsp.AlgTradeoff,
-			T:         t,
-			Seed:      9,
-		})
+		res, err := eng.Run(ctx, g,
+			cliqueapsp.WithT(t),
+			cliqueapsp.WithSeed(9),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +39,10 @@ func main() {
 	}
 
 	fmt.Println("\nFor contrast, the O(1)-round O(log n)-approximation baseline (CZ22):")
-	res, err := cliqueapsp.Run(g, cliqueapsp.Options{Algorithm: cliqueapsp.AlgLogApprox, Seed: 9})
+	res, err := eng.Run(ctx, g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgLogApprox),
+		cliqueapsp.WithSeed(9),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

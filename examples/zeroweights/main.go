@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,10 +20,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cliqueapsp.Run(g, cliqueapsp.Options{
-		Algorithm: cliqueapsp.AlgConstant,
-		Seed:      4,
-	})
+	eng := cliqueapsp.New()
+	res, err := eng.Run(context.Background(), g,
+		cliqueapsp.WithAlgorithm(cliqueapsp.AlgConstant),
+		cliqueapsp.WithSeed(4),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,9 +43,9 @@ func main() {
 	zeroPairs, zeroOK := 0, 0
 	for u := 0; u < g.N(); u++ {
 		for v := u + 1; v < g.N(); v++ {
-			if exact[u][v] == 0 {
+			if exact.At(u, v) == 0 {
 				zeroPairs++
-				if res.Distances[u][v] == 0 {
+				if res.Distances.At(u, v) == 0 {
 					zeroOK++
 				}
 			}

@@ -1,0 +1,3 @@
+module github.com/congestedclique/cliqueapsp
+
+go 1.21

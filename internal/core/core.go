@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -60,6 +61,28 @@ type Config struct {
 	// whole run becomes deterministic. Costs O(k) extra rounds per skeleton
 	// construction; see the skeleton package.
 	Deterministic bool
+	// Ctx, when non-nil, is polled at phase boundaries: a cancelled or
+	// expired context aborts the pipeline between phases with Ctx.Err().
+	Ctx context.Context
+	// Progress, when non-nil, is invoked with the phase name at every phase
+	// boundary, before the cancellation check. It must be safe for the
+	// caller's use; pipelines call it synchronously.
+	Progress func(phase string)
+}
+
+// Checkpoint marks a phase boundary: it fires the Progress callback and
+// returns the context's error if the run has been cancelled. Pipelines call
+// it between phases so long runs stop promptly once their context dies.
+func (c Config) Checkpoint(phase string) error {
+	if c.Progress != nil {
+		c.Progress(phase)
+	}
+	if c.Ctx != nil {
+		if err := c.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {

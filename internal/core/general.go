@@ -31,6 +31,9 @@ func APSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error) {
 		return BruteForce(clq, g), nil
 	}
 	clq.Phase("theorem11")
+	if err := cfg.Checkpoint("theorem11/knearest"); err != nil {
+		return Estimate{}, err
+	}
 
 	// Step 1: k-nearest directly on G. Paper: k = log⁴n,
 	// h = Θ(log n/log log n), i = O(1); clamps per DESIGN.md.
@@ -46,6 +49,9 @@ func APSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error) {
 	}
 
 	// Step 2: skeleton graph (exact lists, a = 1).
+	if err := cfg.Checkpoint("theorem11/skeleton"); err != nil {
+		return Estimate{}, err
+	}
 	sk, err := skeleton.Build(clq, skeleton.Input{
 		G: g, K: res.K, A: 1, Lists: res.Lists, Rng: cfg.Rng, Deterministic: cfg.Deterministic,
 	})
@@ -65,6 +71,9 @@ func APSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error) {
 	if childBW < 1 {
 		childBW = 1
 	}
+	if err := cfg.Checkpoint("theorem11/thm81-on-skeleton"); err != nil {
+		return Estimate{}, err
+	}
 	child, finish := clq.Subclique(m, childBW)
 	gsEst, err := LargeBandwidthAPSP(child, sk.GS, cfg)
 	clq.Phase("thm81-on-skeleton")
@@ -74,6 +83,9 @@ func APSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error) {
 	}
 
 	// Step 4: translate.
+	if err := cfg.Checkpoint("theorem11/translate"); err != nil {
+		return Estimate{}, err
+	}
 	eta, err := sk.Translate(clq, gsEst.D)
 	if err != nil {
 		return Estimate{}, err

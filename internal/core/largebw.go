@@ -37,6 +37,9 @@ func LargeBandwidthAPSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, e
 		return BruteForce(clq, g), nil
 	}
 	clq.Phase("largebw")
+	if err := cfg.Checkpoint("largebw/bootstrap"); err != nil {
+		return Estimate{}, err
+	}
 
 	// Step 1: bootstrap.
 	est, err := LogApprox(clq, g, cfg)
@@ -45,6 +48,9 @@ func LargeBandwidthAPSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, e
 	}
 
 	// Step 2: hopset and symmetrized union.
+	if err := cfg.Checkpoint("largebw/hopset"); err != nil {
+		return Estimate{}, err
+	}
 	k := intSqrt(n)
 	h, err := hopset.Build(clq, g.AsDirected(), est.D, k)
 	if err != nil {
@@ -64,6 +70,9 @@ func LargeBandwidthAPSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, e
 	// Step 4: Theorem 7.1 on each distinct scaled graph, in parallel lanes
 	// that share the parent's bandwidth. Lane bandwidth is the parent's
 	// share; real loads determine the (max-combined) round charge.
+	if err := cfg.Checkpoint("largebw/scaled-instances"); err != nil {
+		return Estimate{}, err
+	}
 	lanes := len(sc.Graphs)
 	laneBW := clq.Bandwidth() / lanes
 	if laneBW < 1 {
@@ -101,6 +110,9 @@ func LargeBandwidthAPSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, e
 	aList := sc.CombinedFactor(innerFactor)
 
 	// Step 6: full-version skeleton from the recombined estimate.
+	if err := cfg.Checkpoint("largebw/skeleton"); err != nil {
+		return Estimate{}, err
+	}
 	lists := skeleton.ListsFromEstimate(etaCombined, k)
 	sk, err := skeleton.Build(clq, skeleton.Input{
 		G: g, K: k, A: aList, Lists: lists, Rng: cfg.Rng, Deterministic: cfg.Deterministic,

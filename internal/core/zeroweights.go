@@ -36,6 +36,9 @@ func WithZeroWeights(clq *cc.Clique, g *graph.Graph, cfg Config, inner Algorithm
 	}
 	n := g.N()
 	clq.Phase("zeroweights")
+	if err := cfg.Checkpoint("zeroweights"); err != nil {
+		return Estimate{}, err
+	}
 
 	// Step 1–2: components of the zero-weight subgraph and their leaders
 	// (minimum-ID representative), charged per the [Now21] black box.

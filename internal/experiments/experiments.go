@@ -17,10 +17,25 @@ import (
 	"github.com/congestedclique/cliqueapsp/internal/hopset"
 	"github.com/congestedclique/cliqueapsp/internal/knearest"
 	"github.com/congestedclique/cliqueapsp/internal/minplus"
+	"github.com/congestedclique/cliqueapsp/internal/registry"
 	"github.com/congestedclique/cliqueapsp/internal/scaling"
 	"github.com/congestedclique/cliqueapsp/internal/skeleton"
 	"github.com/congestedclique/cliqueapsp/internal/spanner"
 )
+
+// comparisonSpecs returns the registry specs the comparison experiments
+// sweep: the paper's headline result plus every registered baseline, in
+// registration order. Registering a new baseline adds it to T1 and F1
+// without touching this package.
+func comparisonSpecs() []registry.Spec {
+	var out []registry.Spec
+	for _, spec := range registry.All() {
+		if spec.Name == registry.Constant || spec.Baseline {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
 
 // Table is one rendered experiment.
 type Table struct {
@@ -163,31 +178,18 @@ func T1AlgorithmComparison(s Suite) Table {
 				panic(err)
 			}
 			exact := g.ExactAPSP()
-			type runner struct {
-				name string
-				bw   int
-				run  func(clq *cc.Clique) (core.Estimate, error)
-			}
-			runs := []runner{
-				{"thm1.1 constant", 1, func(clq *cc.Clique) (core.Estimate, error) {
-					return core.APSP(clq, g, s.config(int64(n)))
-				}},
-				{"CZ22 logapprox", 1, func(clq *cc.Clique) (core.Estimate, error) {
-					return core.LogApprox(clq, g, s.config(int64(n)))
-				}},
-				{"exact squaring", 1, func(clq *cc.Clique) (core.Estimate, error) {
-					return core.ExactCliqueAPSP(clq, g), nil
-				}},
-			}
-			for _, r := range runs {
-				clq := cc.New(g.N(), r.bw)
-				est, err := r.run(clq)
+			for _, spec := range comparisonSpecs() {
+				// The comparison is run in the standard model (bandwidth 1)
+				// like the seed tables; specs with a larger natural model
+				// keep their own default.
+				clq := cc.New(g.N(), spec.BandwidthFor(g.N(), 0))
+				est, err := spec.Run(clq, g, s.config(int64(n)), registry.Params{T: 1})
 				if err != nil {
 					panic(err)
 				}
 				maxR, meanR, _ := quality(est.D, exact)
 				t.Rows = append(t.Rows, []string{
-					gen, i2s(int64(g.N())), r.name, i2s(clq.Metrics().Rounds),
+					gen, i2s(int64(g.N())), spec.Name, i2s(clq.Metrics().Rounds),
 					maxR, meanR, f2s(est.Factor),
 				})
 			}
@@ -556,11 +558,16 @@ func T9ZeroWeights(s Suite) Table {
 // algorithm. The paper's claim is the shape — O(log log log n) (flat) for
 // Theorem 1.1 versus polynomial growth for the exact baseline.
 func F1RoundGrowth(s Suite) Table {
+	specs := comparisonSpecs()
+	header := []string{"n"}
+	for _, spec := range specs {
+		header = append(header, spec.Name+" rounds")
+	}
 	t := Table{
 		ID:         "f1",
 		Title:      "Figure — round growth vs n",
 		Reproduces: "Theorem 1.1 round complexity (shape)",
-		Header:     []string{"n", "thm1.1 rounds", "CZ22 rounds", "exact rounds"},
+		Header:     header,
 		Notes: []string{
 			"Expected shape: exact grows like log n·n^{1/3}; the approximate",
 			"algorithms' round counts are dominated by broadcast volume constants.",
@@ -569,19 +576,13 @@ func F1RoundGrowth(s Suite) Table {
 	for _, n := range s.Sizes {
 		g := graph.RandomConnected(n, 5, graph.WeightRange{Min: 1, Max: 50}, s.rng(int64(n)))
 		row := []string{i2s(int64(n))}
-		clq := cc.New(g.N(), 1)
-		if _, err := core.APSP(clq, g, s.config(int64(n))); err != nil {
-			panic(err)
+		for _, spec := range specs {
+			clq := cc.New(g.N(), spec.BandwidthFor(g.N(), 0))
+			if _, err := spec.Run(clq, g, s.config(int64(n)), registry.Params{T: 1}); err != nil {
+				panic(err)
+			}
+			row = append(row, i2s(clq.Metrics().Rounds))
 		}
-		row = append(row, i2s(clq.Metrics().Rounds))
-		clq = cc.New(g.N(), 1)
-		if _, err := core.LogApprox(clq, g, s.config(int64(n))); err != nil {
-			panic(err)
-		}
-		row = append(row, i2s(clq.Metrics().Rounds))
-		clq = cc.New(g.N(), 1)
-		core.ExactCliqueAPSP(clq, g)
-		row = append(row, i2s(clq.Metrics().Rounds))
 		t.Rows = append(t.Rows, row)
 	}
 	return t

@@ -10,19 +10,19 @@ import (
 // application of (approximate) APSP to network routing that motivates the
 // problem (paper §1).
 //
-// The distances may come from any Run result; with exact distances the
-// tables route along true shortest paths.
-func NextHopTables(g *Graph, distances [][]int64) ([][]int, error) {
+// The distances may come from any Run result (or Exact); with exact
+// distances the tables route along true shortest paths.
+func NextHopTables(g *Graph, distances *DistanceMatrix) ([][]int, error) {
 	n := g.N()
-	if len(distances) != n {
-		return nil, fmt.Errorf("cliqueapsp: %d distance rows for %d nodes", len(distances), n)
+	if distances == nil {
+		return nil, fmt.Errorf("cliqueapsp: nil distance matrix")
+	}
+	if distances.N() != n {
+		return nil, fmt.Errorf("cliqueapsp: %d×%d distances for %d nodes", distances.N(), distances.N(), n)
 	}
 	adj := adjacency(g)
 	table := make([][]int, n)
 	for u := 0; u < n; u++ {
-		if len(distances[u]) != n {
-			return nil, fmt.Errorf("cliqueapsp: row %d has %d entries, want %d", u, len(distances[u]), n)
-		}
 		table[u] = make([]int, n)
 		for v := 0; v < n; v++ {
 			if u == v {
@@ -31,7 +31,7 @@ func NextHopTables(g *Graph, distances [][]int64) ([][]int, error) {
 			}
 			best, bestCost := -1, int64(0)
 			for _, a := range adj[u] {
-				d := distances[a.to][v]
+				d := distances.At(a.to, v)
 				if d >= Inf {
 					continue
 				}
@@ -66,21 +66,21 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 	if len(table) != n {
 		return ForwardingStats{}, fmt.Errorf("cliqueapsp: %d table rows for %d nodes", len(table), n)
 	}
-	adj := adjacency(g)
-	weight := func(u, v int) (int64, bool) {
-		for _, a := range adj[u] {
-			if a.to == v {
-				return a.w, true
-			}
+	// Per-node neighbor→weight maps: hop resolution is O(1) instead of a
+	// linear scan of the adjacency list on every forwarded hop.
+	weights := make([]map[int]int64, n)
+	for u, arcs := range adjacency(g) {
+		weights[u] = make(map[int]int64, len(arcs))
+		for _, a := range arcs {
+			weights[u][a.to] = a.w
 		}
-		return 0, false
 	}
 	exact := Exact(g)
 	var stats ForwardingStats
 	var sum float64
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
-			if u == v || exact[u][v] >= Inf {
+			if u == v || exact.At(u, v) >= Inf {
 				continue
 			}
 			cur, cost, ok := u, int64(0), true
@@ -94,7 +94,7 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 					ok = false
 					break
 				}
-				w, exists := weight(cur, nh)
+				w, exists := weights[cur][nh]
 				if !exists {
 					return ForwardingStats{}, fmt.Errorf("cliqueapsp: table routes %d->%d over a non-edge", cur, nh)
 				}
@@ -107,8 +107,8 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 			}
 			stats.Delivered++
 			stretch := 1.0
-			if exact[u][v] > 0 {
-				stretch = float64(cost) / float64(exact[u][v])
+			if d := exact.At(u, v); d > 0 {
+				stretch = float64(cost) / float64(d)
 			}
 			sum += stretch
 			if stretch > stats.WorstStretch {

@@ -88,15 +88,15 @@ func TestNextHopTablesDisconnected(t *testing.T) {
 
 func TestNextHopTablesValidation(t *testing.T) {
 	g := RandomGraph(8, 5, 1)
-	if _, err := NextHopTables(g, make([][]int64, 3)); err == nil {
-		t.Fatal("wrong row count accepted")
+	if _, err := NextHopTables(g, nil); err == nil {
+		t.Fatal("nil distances accepted")
 	}
-	bad := make([][]int64, 8)
-	for i := range bad {
-		bad[i] = make([]int64, 2)
+	small, err := DistancesFromSlices([][]int64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := NextHopTables(g, bad); err == nil {
-		t.Fatal("ragged rows accepted")
+	if _, err := NextHopTables(g, small); err == nil {
+		t.Fatal("wrong dimension accepted")
 	}
 	if _, err := SimulateForwarding(g, make([][]int, 2)); err == nil {
 		t.Fatal("wrong table size accepted")
