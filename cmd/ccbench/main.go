@@ -8,6 +8,7 @@
 //	ccbench -exp t1,t2       # selected experiments
 //	ccbench -md > results.md # markdown output
 //	ccbench -quick           # small smoke-test sweep
+//	ccbench -quick -json     # machine-readable report (BENCH_*.json, CI)
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		md    = flag.Bool("md", false, "emit Markdown instead of plain text")
+		jsonF = flag.Bool("json", false, "emit a machine-readable JSON report (tables + per-experiment elapsed_ns)")
 		list  = flag.Bool("list", false, "list experiments and the algorithm registry, then exit")
 	)
 	flag.Parse()
@@ -68,6 +70,17 @@ func main() {
 		for _, part := range strings.Split(*exp, ",") {
 			ids = append(ids, strings.TrimSpace(part))
 		}
+	}
+
+	if *jsonF {
+		report, err := experiments.RunJSON(ids, suite)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	for _, id := range ids {

@@ -10,13 +10,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 )
 
 func main() {
 	var (
-		gen  = flag.String("gen", "random", "workload generator")
+		gen  = flag.String("gen", "random", "workload generator (one of: "+strings.Join(cliqueapsp.Generators(), ", ")+")")
 		n    = flag.Int("n", 128, "number of nodes")
 		minW = flag.Int64("minw", 1, "minimum edge weight")
 		maxW = flag.Int64("maxw", 50, "maximum edge weight")
@@ -25,6 +26,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if !validGenerator(*gen) {
+		fatal(fmt.Errorf("unknown generator %q (valid: %s)",
+			*gen, strings.Join(cliqueapsp.Generators(), ", ")))
+	}
 	g, err := cliqueapsp.Generate(*gen, *n, *minW, *maxW, *seed)
 	if err != nil {
 		fatal(err)
@@ -49,6 +54,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccgen: wrote %s graph with n=%d m=%d to %s\n",
 			*gen, g.N(), g.NumEdges(), *out)
 	}
+}
+
+func validGenerator(name string) bool {
+	for _, g := range cliqueapsp.Generators() {
+		if g == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

@@ -1,0 +1,132 @@
+// Command ccserve is a distance-oracle daemon: it holds an oracle.Oracle
+// over the cliqueapsp Engine and serves distance, batch and path queries
+// over HTTP/JSON. Graphs are uploaded at runtime (or preloaded with -graph);
+// every rebuild runs the configured algorithm in the background while the
+// previous snapshot keeps serving, and every response reports the snapshot
+// version that answered it.
+//
+// Endpoints:
+//
+//	POST /v1/graph   upload a graph (JSON {"n":…,"edges":[[u,v,w],…]} or
+//	                 the ccgen edge-list format); ?wait=1 blocks until the
+//	                 rebuild finishes
+//	GET  /v1/dist    ?u=0&v=3 — one distance
+//	POST /v1/batch   {"pairs":[[0,1],[2,3],…]} — many distances, one snapshot
+//	GET  /v1/path    ?u=0&v=3 — greedy next-hop route and its cost
+//	GET  /v1/stats   oracle + server counters
+//	GET  /healthz    200 once a snapshot serves
+//
+// Example:
+//
+//	ccserve -addr 127.0.0.1:8080 -alg constant -eps 0.1
+//	curl -s -XPOST -H 'Content-Type: application/json' \
+//	     -d '{"n":4,"edges":[[0,1,3],[1,2,1],[2,3,2]]}' \
+//	     'localhost:8080/v1/graph?wait=1'
+//	curl -s 'localhost:8080/v1/dist?u=0&v=3'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/oracle"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		alg          = flag.String("alg", "constant", "algorithm rebuilds run (see ccapsp -list)")
+		eps          = flag.Float64("eps", 0.1, "accuracy slack of the scaling stages")
+		t            = flag.Int("t", 1, "tradeoff parameter (alg=tradeoff)")
+		det          = flag.Bool("det", false, "deterministic rebuilds (greedy hitting sets)")
+		seed         = flag.Int64("seed", 0, "pin the rebuild seed (0 = engine-derived per rebuild)")
+		graphFile    = flag.String("graph", "", "preload a graph file (ccgen format) before serving")
+		maxN         = flag.Int("maxn", 4096, "largest accepted graph (nodes)")
+		maxBatch     = flag.Int("maxbatch", 100000, "most pairs per batch query")
+		maxBody      = flag.Int64("maxbody", 32<<20, "request body limit in bytes")
+		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
+		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "ccserve: ", log.LstdFlags)
+
+	runOpts := []cliqueapsp.RunOption{
+		cliqueapsp.WithEps(*eps),
+		cliqueapsp.WithT(*t),
+		cliqueapsp.WithDeterministicRun(*det),
+	}
+	if *seed != 0 {
+		runOpts = append(runOpts, cliqueapsp.WithSeed(*seed))
+	}
+	o := oracle.New(oracle.Config{
+		Algorithm:    cliqueapsp.Algorithm(*alg),
+		RunOptions:   runOpts,
+		BuildTimeout: *buildTimeout,
+		OnRebuild: func(version uint64, elapsed time.Duration, err error) {
+			if err != nil {
+				logger.Printf("rebuild v%d failed after %s: %v", version, elapsed, err)
+				return
+			}
+			logger.Printf("rebuild v%d done in %s", version, elapsed)
+		},
+	})
+	defer o.Close()
+
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		g, err := cliqueapsp.ReadGraph(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			logger.Fatal(err)
+		}
+		version, err := o.SetGraph(g)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("preloaded %s: n=%d m=%d version=%d (building)", *graphFile, g.N(), g.NumEdges(), version)
+	}
+
+	lim := limits{maxNodes: *maxN, maxBatch: *maxBatch, maxBody: *maxBody}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(o, lim, logger.Printf),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d)", *addr, *alg, *maxN, *maxBatch)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("received %s, draining (%s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	o.Close()
+	fmt.Fprintln(os.Stderr, "ccserve: bye")
+}

@@ -1,0 +1,356 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/oracle"
+)
+
+// limits bounds what one request may ask of the server.
+type limits struct {
+	maxNodes int   // largest accepted graph (nodes)
+	maxBatch int   // most pairs per /v1/batch call
+	maxBody  int64 // request body cap in bytes
+}
+
+func defaultLimits() limits {
+	return limits{maxNodes: 4096, maxBatch: 100000, maxBody: 32 << 20}
+}
+
+// server is the HTTP surface over an oracle. It carries expvar-style
+// request counters surfaced by /v1/stats alongside the oracle's own.
+type server struct {
+	o      *oracle.Oracle
+	lim    limits
+	mux    *http.ServeMux
+	start  time.Time
+	logf   func(format string, args ...any)
+	reqs   atomic.Uint64 // total requests
+	errs   atomic.Uint64 // responses with status >= 400
+	graphs atomic.Uint64 // accepted graph uploads
+}
+
+func newServer(o *oracle.Oracle, lim limits, logf func(format string, args ...any)) *server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &server{o: o, lim: lim, mux: http.NewServeMux(), start: time.Now(), logf: logf}
+	s.mux.HandleFunc("/v1/dist", s.handleDist)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/path", s.handlePath)
+	s.mux.HandleFunc("/v1/graph", s.handleGraph)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		s.errs.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// fail maps an error to a status: oracle-not-ready serves 503 (retryable),
+// everything else defaults to 400 unless overridden.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	if errors.Is(err, oracle.ErrNotReady) {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: fmt.Sprintf("use %s %s", method, r.URL.Path)})
+		return false
+	}
+	return true
+}
+
+// queryPair parses the u/v query parameters.
+func queryPair(r *http.Request) (int, int, error) {
+	u, err := strconv.Atoi(r.URL.Query().Get("u"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("query parameter u: want an integer node index")
+	}
+	v, err := strconv.Atoi(r.URL.Query().Get("v"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("query parameter v: want an integer node index")
+	}
+	return u, v, nil
+}
+
+// GET /v1/dist?u=0&v=3
+func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	u, v, err := queryPair(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.o.Dist(u, v)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// jsonPair accepts both {"u":0,"v":1} and [0,1].
+type jsonPair oracle.Pair
+
+func (p *jsonPair) UnmarshalJSON(b []byte) error {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "[") {
+		var arr []int
+		if err := json.Unmarshal(b, &arr); err != nil {
+			return err
+		}
+		if len(arr) != 2 {
+			return fmt.Errorf("pair %s: want [u, v]", trimmed)
+		}
+		p.U, p.V = arr[0], arr[1]
+		return nil
+	}
+	var obj struct {
+		U *int `json:"u"`
+		V *int `json:"v"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return err
+	}
+	if obj.U == nil || obj.V == nil {
+		return fmt.Errorf("pair %s: want both u and v", trimmed)
+	}
+	p.U, p.V = *obj.U, *obj.V
+	return nil
+}
+
+// POST /v1/batch with {"pairs":[[0,1],{"u":2,"v":3},…]}
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req struct {
+		Pairs []jsonPair `json:"pairs"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch body: %w", err))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch body: no pairs"))
+		return
+	}
+	if len(req.Pairs) > s.lim.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d pairs exceeds the limit of %d", len(req.Pairs), s.lim.maxBatch))
+		return
+	}
+	pairs := make([]oracle.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = oracle.Pair(p)
+	}
+	res, err := s.o.Batch(pairs)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// GET /v1/path?u=0&v=3
+func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	u, v, err := queryPair(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.o.Path(u, v)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// jsonEdge accepts both {"u":0,"v":1,"w":3} and [0,1,3] (weight defaults
+// to 1 when omitted).
+type jsonEdge struct {
+	U, V int
+	W    int64
+}
+
+func (e *jsonEdge) UnmarshalJSON(b []byte) error {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "[") {
+		var arr []int64
+		if err := json.Unmarshal(b, &arr); err != nil {
+			return err
+		}
+		if len(arr) != 2 && len(arr) != 3 {
+			return fmt.Errorf("edge %s: want [u, v] or [u, v, w]", trimmed)
+		}
+		e.U, e.V, e.W = int(arr[0]), int(arr[1]), 1
+		if len(arr) == 3 {
+			e.W = arr[2]
+		}
+		return nil
+	}
+	var obj struct {
+		U *int   `json:"u"`
+		V *int   `json:"v"`
+		W *int64 `json:"w"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return err
+	}
+	if obj.U == nil || obj.V == nil {
+		return fmt.Errorf("edge %s: want u and v", trimmed)
+	}
+	e.U, e.V, e.W = *obj.U, *obj.V, 1
+	if obj.W != nil {
+		e.W = *obj.W
+	}
+	return nil
+}
+
+// POST /v1/graph registers a new graph and schedules a rebuild. JSON bodies
+// ({"n":4,"edges":[[0,1,3],…]}) and the package's plain edge-list format
+// (Content-Type text/plain, as written by ccgen) are both accepted.
+// With ?wait=1 the response is delayed until the rebuild finishes (bounded
+// by the request context), so the reported version is immediately queryable.
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
+	var g *cliqueapsp.Graph
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			N     int        `json:"n"`
+			Edges []jsonEdge `json:"edges"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: %w", err))
+			return
+		}
+		if req.N < 1 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: n must be ≥ 1"))
+			return
+		}
+		if req.N > s.lim.maxNodes {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("graph of %d nodes exceeds the limit of %d", req.N, s.lim.maxNodes))
+			return
+		}
+		g = cliqueapsp.NewGraph(req.N)
+		for i, e := range req.Edges {
+			if err := g.AddEdge(e.U, e.V, e.W); err != nil {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
+				return
+			}
+		}
+	} else {
+		var err error
+		g, err = cliqueapsp.ReadGraph(body)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body (edge-list): %w", err))
+			return
+		}
+		if g.N() > s.lim.maxNodes {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("graph of %d nodes exceeds the limit of %d", g.N(), s.lim.maxNodes))
+			return
+		}
+	}
+
+	version, err := s.o.SetGraph(g)
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.graphs.Add(1)
+	s.logf("graph accepted: n=%d m=%d version=%d", g.N(), g.NumEdges(), version)
+
+	status := http.StatusAccepted
+	if r.URL.Query().Get("wait") != "" {
+		if err := s.o.Wait(r.Context(), version); err != nil {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))
+			return
+		}
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, struct {
+		Version uint64 `json:"version"`
+		N       int    `json:"n"`
+		M       int    `json:"m"`
+		Ready   bool   `json:"ready"`
+	}{Version: version, N: g.N(), M: g.NumEdges(), Ready: status == http.StatusOK})
+}
+
+// GET /v1/stats
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct {
+		oracle.Stats
+		UptimeNS     time.Duration `json:"uptime_ns"`
+		HTTPRequests uint64        `json:"http_requests"`
+		HTTPErrors   uint64        `json:"http_errors"`
+		GraphUploads uint64        `json:"graph_uploads"`
+	}{
+		Stats:        s.o.Stats(),
+		UptimeNS:     time.Since(s.start),
+		HTTPRequests: s.reqs.Load(),
+		HTTPErrors:   s.errs.Load(),
+		GraphUploads: s.graphs.Load(),
+	})
+}
+
+// GET /healthz — 200 once a snapshot serves, 503 before. Not-ready probes
+// bypass the error counter: a liveness check polling through a long initial
+// build would otherwise drown real client errors in /v1/stats.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := s.o.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Ready   bool   `json:"ready"`
+		Version uint64 `json:"version"`
+	}{Ready: ready, Version: s.o.Version()})
+}

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/oracle"
+)
+
+func init() {
+	// A central exact backend keeps the end-to-end test fast and makes every
+	// expected response value checkable against cliqueapsp.Exact.
+	err := cliqueapsp.Register("ccserve-test-exact", cliqueapsp.AlgorithmSpec{
+		Summary:     "central exact backend for ccserve tests",
+		FactorBound: "1",
+		RoundClass:  "0",
+		Bandwidth:   "n/a",
+		Run: func(ctx context.Context, g *cliqueapsp.Graph, p cliqueapsp.RunParams) (cliqueapsp.AlgorithmOutput, error) {
+			return cliqueapsp.AlgorithmOutput{Distances: cliqueapsp.Exact(g), Factor: 1}, nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// startServer spins up a real HTTP server on a random loopback port, the
+// same wiring main uses, and returns its base URL.
+func startServer(t *testing.T, lim limits) string {
+	t.Helper()
+	o := oracle.New(oracle.Config{Algorithm: "ccserve-test-exact"})
+	t.Cleanup(o.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newServer(o, lim, t.Logf)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // returns ErrServerClosed on Shutdown
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-done
+	})
+	return "http://" + ln.Addr().String()
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, wantStatus, out)
+}
+
+func postJSON(t *testing.T, url, contentType, body string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, wantStatus, out)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, wantStatus int, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d (want %d), body %s",
+			resp.Request.Method, resp.Request.URL, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	base := startServer(t, defaultLimits())
+
+	// Before any graph: health says not ready, queries say 503.
+	var health struct {
+		Ready bool `json:"ready"`
+	}
+	getJSON(t, base+"/healthz", http.StatusServiceUnavailable, &health)
+	if health.Ready {
+		t.Fatal("ready before any graph")
+	}
+	getJSON(t, base+"/v1/dist?u=0&v=1", http.StatusServiceUnavailable, nil)
+
+	// Upload the quickstart path 0-3-1-1-2-2-3 and wait for the build.
+	var up struct {
+		Version uint64 `json:"version"`
+		N       int    `json:"n"`
+		M       int    `json:"m"`
+		Ready   bool   `json:"ready"`
+	}
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,3],{"u":1,"v":2,"w":1},[2,3,2]]}`, http.StatusOK, &up)
+	if up.Version == 0 || up.N != 4 || up.M != 3 || !up.Ready {
+		t.Fatalf("upload response %+v", up)
+	}
+
+	var dist oracle.DistResult
+	getJSON(t, fmt.Sprintf("%s/v1/dist?u=0&v=3", base), http.StatusOK, &dist)
+	if !dist.Reachable || dist.Distance != 6 || dist.Version != up.Version {
+		t.Fatalf("dist response %+v", dist)
+	}
+
+	var batch oracle.BatchResult
+	postJSON(t, base+"/v1/batch", "application/json",
+		`{"pairs":[[0,1],[0,3],{"u":3,"v":0}]}`, http.StatusOK, &batch)
+	if batch.Version != up.Version || len(batch.Answers) != 3 {
+		t.Fatalf("batch response %+v", batch)
+	}
+	if batch.Answers[1].Distance != 6 || batch.Answers[2].Distance != 6 {
+		t.Fatalf("batch distances %+v", batch.Answers)
+	}
+
+	var path oracle.PathResult
+	getJSON(t, fmt.Sprintf("%s/v1/path?u=0&v=3", base), http.StatusOK, &path)
+	if !path.Reachable || path.Cost != 6 || len(path.Path) != 4 || path.Version != up.Version {
+		t.Fatalf("path response %+v", path)
+	}
+
+	var stats struct {
+		oracle.Stats
+		HTTPRequests uint64 `json:"http_requests"`
+		HTTPErrors   uint64 `json:"http_errors"`
+		GraphUploads uint64 `json:"graph_uploads"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
+	if stats.Version != up.Version || stats.GraphN != 4 || stats.GraphUploads != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Exactly one error so far: the not-ready /v1/dist. The not-ready
+	// /healthz probe must NOT have counted.
+	if stats.HTTPErrors != 1 {
+		t.Fatalf("http_errors = %d, want 1 (healthz probes excluded)", stats.HTTPErrors)
+	}
+	if stats.DistQueries != 1 || stats.BatchQueries != 1 || stats.PathQueries != 1 {
+		t.Fatalf("query counters %+v", stats)
+	}
+	if stats.HTTPRequests == 0 {
+		t.Fatal("no http requests counted")
+	}
+
+	getJSON(t, base+"/healthz", http.StatusOK, &health)
+	if !health.Ready {
+		t.Fatal("not ready after build")
+	}
+}
+
+func TestServerEdgeListUploadAndSecondGraph(t *testing.T) {
+	base := startServer(t, defaultLimits())
+
+	// First graph via JSON, second via the ccgen edge-list format; versions
+	// must increase and answers must switch to the new snapshot.
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,9]]}`, http.StatusOK, nil)
+
+	g := cliqueapsp.NewGraph(3)
+	if err := g.AddEdge(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		Version uint64 `json:"version"`
+	}
+	postJSON(t, base+"/v1/graph?wait=1", "text/plain", buf.String(), http.StatusOK, &up)
+	if up.Version != 2 {
+		t.Fatalf("second upload version %d", up.Version)
+	}
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/dist?u=0&v=2", http.StatusOK, &dist)
+	if dist.Distance != 8 || dist.Version != 2 {
+		t.Fatalf("dist after swap %+v", dist)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	lim := defaultLimits()
+	lim.maxBatch = 2
+	lim.maxNodes = 8
+	base := startServer(t, lim)
+
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,1],[1,2,1],[2,3,1]]}`, http.StatusOK, nil)
+
+	// Method and parameter errors.
+	postJSON(t, base+"/v1/dist", "application/json", `{}`, http.StatusMethodNotAllowed, nil)
+	getJSON(t, base+"/v1/dist?u=zero&v=1", http.StatusBadRequest, nil)
+	getJSON(t, base+"/v1/dist?u=0&v=99", http.StatusBadRequest, nil)
+	getJSON(t, base+"/v1/path?u=0", http.StatusBadRequest, nil)
+
+	// Malformed and oversized bodies.
+	postJSON(t, base+"/v1/batch", "application/json", `{"pairs":`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/batch", "application/json", `{"pairs":[]}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/batch", "application/json",
+		`{"pairs":[[0,1],[1,2],[2,3]]}`, http.StatusRequestEntityTooLarge, nil)
+	postJSON(t, base+"/v1/batch", "application/json",
+		`{"pairs":[[0,1,2]]}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":9,"edges":[]}`, http.StatusRequestEntityTooLarge, nil)
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":2,"edges":[[0,0,1]]}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graph", "text/plain", "not a graph", http.StatusBadRequest, nil)
+
+	// The serving snapshot survived all of the above.
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/dist?u=0&v=3", http.StatusOK, &dist)
+	if dist.Distance != 3 {
+		t.Fatalf("dist after bad requests %+v", dist)
+	}
+}
+
+func TestServerAsyncUploadEventuallyServes(t *testing.T) {
+	base := startServer(t, defaultLimits())
+	var up struct {
+		Version uint64 `json:"version"`
+		Ready   bool   `json:"ready"`
+	}
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":2,"edges":[[0,1,5]]}`, http.StatusAccepted, &up)
+	if up.Ready {
+		t.Fatal("async upload reported ready")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/dist?u=0&v=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var dist oracle.DistResult
+			decodeBody(t, resp, http.StatusOK, &dist)
+			if dist.Distance != 5 || dist.Version != up.Version {
+				t.Fatalf("dist %+v", dist)
+			}
+			return
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -146,6 +146,10 @@ func (e *Engine) deriveSeed() int64 {
 // boundaries: cancellation or deadline expiry aborts the run between phases
 // and returns the context's error. Graphs with zero-weight edges are
 // handled transparently through the Theorem 2.1 reduction.
+//
+// The returned Result (including its Distances view) is immutable and safe
+// to publish to other goroutines as-is; the oracle package relies on this
+// for its lock-free snapshot handoff.
 func (e *Engine) Run(ctx context.Context, g *Graph, opts ...RunOption) (*Result, error) {
 	if e == nil {
 		return nil, errors.New("cliqueapsp: nil engine (construct with New)")

@@ -10,11 +10,12 @@ import (
 // Generate returns a named standard workload graph. Supported generators:
 // "random" (Erdős–Rényi-style, average degree ~6), "grid", "ring" (cycle
 // plus chords), "clustered" (dense communities, heavy bridges), "powerlaw"
-// (preferential attachment), "path", "star", "complete", and "zeroclusters"
-// (groups joined internally by zero-weight edges — the Theorem 2.1
-// workload). Weights are uniform in [minW, maxW]; runs are reproducible per
-// seed. The returned graph may have slightly more than n nodes for "grid"
-// (rounded up to a full rectangle).
+// (preferential attachment), "regular" (random 6-regular), "hypercube",
+// "path", "star", "complete", and "zeroclusters" (groups joined internally
+// by zero-weight edges — the Theorem 2.1 workload). Weights are uniform in
+// [minW, maxW]; runs are reproducible per seed. The returned graph may have
+// slightly more than n nodes for "grid" (rounded up to a full rectangle)
+// and "hypercube" (rounded up to a power of two).
 func Generate(generator string, n int, minW, maxW int64, seed int64) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cliqueapsp: invalid node count %d", n)
@@ -35,7 +36,7 @@ func Generate(generator string, n int, minW, maxW int64, seed int64) (*Graph, er
 // Generators lists the generator names accepted by Generate.
 func Generators() []string {
 	return []string{"random", "grid", "ring", "clustered", "powerlaw",
-		"path", "star", "complete", "zeroclusters"}
+		"regular", "hypercube", "path", "star", "complete", "zeroclusters"}
 }
 
 // RandomGraph is shorthand for Generate("random", …).

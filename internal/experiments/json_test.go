@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunJSONRoundTrips(t *testing.T) {
+	report, err := RunJSON([]string{"t1", "t2"}, Suite{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != ReportSchema || !report.Quick || len(report.Sizes) == 0 {
+		t.Fatalf("report envelope %+v", report)
+	}
+	if len(report.Experiments) != 2 {
+		t.Fatalf("%d experiments, want 2", len(report.Experiments))
+	}
+	for _, e := range report.Experiments {
+		if e.ID == "" || len(e.Header) == 0 || len(e.Rows) == 0 {
+			t.Fatalf("empty experiment %+v", e)
+		}
+		if e.ElapsedNS <= 0 {
+			t.Fatalf("experiment %s has no elapsed time", e.ID)
+		}
+		for _, row := range e.Rows {
+			if len(row) != len(e.Header) {
+				t.Fatalf("experiment %s: row width %d, header width %d", e.ID, len(row), len(e.Header))
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if decoded.Experiments[0].ID != report.Experiments[0].ID {
+		t.Fatal("round trip lost experiment IDs")
+	}
+}
+
+func TestRunJSONUnknownID(t *testing.T) {
+	if _, err := RunJSON([]string{"nope"}, Suite{Quick: true}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,423 @@
+// Package oracle turns the cliqueapsp Engine into a long-running distance
+// oracle: precompute once, query forever. The paper's O(1)-approximate APSP
+// leaves every node with approximate distances to all others after
+// poly(log log n) rounds — exactly the state a serving layer wants to hold.
+//
+// An Oracle owns a background build loop. Callers register a graph with
+// SetGraph; the oracle runs the configured algorithm through its Engine and
+// publishes the result as a versioned immutable snapshot behind an atomic
+// pointer. Queries (Dist, Batch, Path) resolve the current snapshot once and
+// answer entirely from it, so a query never observes a half-built estimate
+// and a batch is always internally consistent — every response reports the
+// snapshot version that answered it. While a rebuild is in flight the
+// previous snapshot keeps serving, and rapid SetGraph calls coalesce: only
+// the latest pending graph is built.
+//
+// Path queries route greedily over per-source next-hop rows
+// (cliqueapsp.NextHopRow) that are memoized lazily per snapshot, so serving
+// paths from a few hot sources never pays the full n² NextHopTables build.
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+)
+
+// Unreachable is the Distance value reported for pairs with no path in the
+// current snapshot (real distances are nonnegative, so -1 is unambiguous).
+const Unreachable = int64(-1)
+
+var (
+	// ErrNotReady is returned by queries before the first snapshot is built.
+	ErrNotReady = errors.New("oracle: no snapshot yet (SetGraph and Wait first)")
+	// ErrClosed is returned once Close has been called.
+	ErrClosed = errors.New("oracle: closed")
+)
+
+// Config configures an Oracle. The zero value is usable: a private Engine
+// with package defaults and the default algorithm.
+type Config struct {
+	// Engine runs the rebuilds. Nil constructs a private cliqueapsp.New().
+	Engine *cliqueapsp.Engine
+	// Algorithm selects the estimate every rebuild computes ("" keeps the
+	// engine's default). Any registered algorithm works, including custom
+	// ones added with cliqueapsp.Register.
+	Algorithm cliqueapsp.Algorithm
+	// RunOptions are appended to every rebuild's Engine.Run call (e.g.
+	// cliqueapsp.WithEps, cliqueapsp.WithSeed for reproducible serving).
+	RunOptions []cliqueapsp.RunOption
+	// BuildTimeout bounds each rebuild (0 = no limit). A timed-out rebuild
+	// keeps the previous snapshot serving and records the error.
+	BuildTimeout time.Duration
+	// OnRebuild, when non-nil, observes every completed build attempt: the
+	// version built, the wall time it took, and nil or the build error. It is
+	// called from the build goroutine and must not block for long.
+	OnRebuild func(version uint64, elapsed time.Duration, err error)
+}
+
+// Pair is one (source, destination) query of a Batch.
+type Pair struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// Answer is one answered pair. Distance is the snapshot's estimate (an
+// upper bound within the run's proven factor), or Unreachable when the
+// snapshot has no path.
+type Answer struct {
+	U         int   `json:"u"`
+	V         int   `json:"v"`
+	Distance  int64 `json:"distance"`
+	Reachable bool  `json:"reachable"`
+}
+
+// DistResult is a single Dist answer plus the snapshot version that
+// answered it.
+type DistResult struct {
+	Answer
+	Version uint64 `json:"version"`
+}
+
+// BatchResult is a Batch answer: every entry comes from the one snapshot
+// identified by Version.
+type BatchResult struct {
+	Version uint64   `json:"version"`
+	Answers []Answer `json:"answers"`
+}
+
+// PathResult is a Path answer: the hop sequence from U to V (inclusive)
+// under greedy next-hop routing on the snapshot's estimate, and its realized
+// cost in edge weights. Unreachable pairs report Reachable false, a nil
+// Path, and Cost Unreachable.
+type PathResult struct {
+	U         int    `json:"u"`
+	V         int    `json:"v"`
+	Reachable bool   `json:"reachable"`
+	Path      []int  `json:"path,omitempty"`
+	Cost      int64  `json:"cost"`
+	Version   uint64 `json:"version"`
+}
+
+// Stats is a point-in-time snapshot of the oracle's counters.
+type Stats struct {
+	// Version and SnapshotAge describe the serving snapshot (Version 0 =
+	// none yet).
+	Version     uint64        `json:"version"`
+	SnapshotAge time.Duration `json:"snapshot_age_ns"`
+	// GraphN and GraphM are the serving snapshot's graph dimensions.
+	GraphN int `json:"graph_n"`
+	GraphM int `json:"graph_m"`
+	// Algorithm and FactorBound are the serving snapshot's provenance.
+	Algorithm   string  `json:"algorithm"`
+	FactorBound float64 `json:"factor_bound"`
+	// DistQueries, BatchQueries and PathQueries count API calls; Answers
+	// counts individual pairs answered across all of them.
+	DistQueries  uint64 `json:"dist_queries"`
+	BatchQueries uint64 `json:"batch_queries"`
+	PathQueries  uint64 `json:"path_queries"`
+	Answers      uint64 `json:"answers"`
+	// RowsBuilt counts next-hop rows materialized (across all snapshots);
+	// RowHits counts row lookups served from an already-built row.
+	RowsBuilt uint64 `json:"rows_built"`
+	RowHits   uint64 `json:"row_hits"`
+	// Rebuilds and RebuildErrors count completed build attempts;
+	// LastRebuild is the wall time of the most recent successful one.
+	Rebuilds      uint64        `json:"rebuilds"`
+	RebuildErrors uint64        `json:"rebuild_errors"`
+	LastRebuild   time.Duration `json:"last_rebuild_ns"`
+	// Pending reports whether a rebuild is queued or running.
+	Pending bool `json:"pending"`
+}
+
+// counters are the oracle's monotonically increasing totals, shared with
+// every snapshot so lazily built rows are accounted wherever they happen.
+type counters struct {
+	distQueries, batchQueries, pathQueries atomic.Uint64
+	answers                                atomic.Uint64
+	rowsBuilt, rowHits                     atomic.Uint64
+	rebuilds, rebuildErrors                atomic.Uint64
+}
+
+// Oracle serves distance and path queries from versioned snapshots rebuilt
+// in the background. Construct with New; an Oracle is safe for concurrent
+// use by any number of goroutines.
+type Oracle struct {
+	cfg  Config
+	eng  *cliqueapsp.Engine
+	ctx  context.Context
+	stop context.CancelFunc
+
+	cur atomic.Pointer[snapshot]
+	cnt counters
+
+	mu       sync.Mutex
+	version  uint64            // last version assigned by SetGraph
+	pending  *cliqueapsp.Graph // latest graph awaiting build (nil = none)
+	pendingV uint64            // version of pending
+	building bool              // build goroutine live
+	lastDone uint64            // version of the last completed build attempt
+	lastErr  error             // error of that attempt (nil on success)
+	notify   chan struct{}     // closed and replaced on every completion
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New returns an Oracle ready to accept SetGraph.
+func New(cfg Config) *Oracle {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = cliqueapsp.New()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Oracle{
+		cfg:    cfg,
+		eng:    eng,
+		ctx:    ctx,
+		stop:   cancel,
+		notify: make(chan struct{}),
+	}
+}
+
+// SetGraph registers g as the graph to serve and schedules a background
+// rebuild, returning the version the resulting snapshot will carry. The
+// previous snapshot (if any) keeps serving until the new one is published.
+// Calls made while a rebuild is in flight coalesce: intermediate graphs are
+// skipped and only the latest is built (its version still supersedes the
+// skipped ones, so Wait on a skipped version succeeds once a newer snapshot
+// lands).
+//
+// The graph is copied, so the caller may keep mutating g (e.g. AddEdge) and
+// re-register it later without racing against background builds or queries.
+func (o *Oracle) SetGraph(g *cliqueapsp.Graph) (uint64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("oracle: nil graph")
+	}
+	g = copyGraph(g)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrClosed
+	}
+	o.version++
+	o.pending, o.pendingV = g, o.version
+	if !o.building {
+		o.building = true
+		o.wg.Add(1)
+		go o.buildLoop()
+	}
+	return o.version, nil
+}
+
+// copyGraph snapshots the caller's graph at registration time: one O(m)
+// pass, trivial next to the engine run it feeds.
+func copyGraph(g *cliqueapsp.Graph) *cliqueapsp.Graph {
+	cp := cliqueapsp.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		if err := cp.AddEdge(e.U, e.V, e.W); err != nil {
+			// Unreachable: e came out of a validated graph.
+			panic(fmt.Sprintf("oracle: copying edge %+v: %v", e, err))
+		}
+	}
+	return cp
+}
+
+// buildLoop drains pending graphs until none remain, publishing a snapshot
+// per build. At most one buildLoop runs at a time (guarded by o.building).
+func (o *Oracle) buildLoop() {
+	defer o.wg.Done()
+	for {
+		o.mu.Lock()
+		g, v := o.pending, o.pendingV
+		if g == nil || o.closed {
+			o.building = false
+			o.mu.Unlock()
+			return
+		}
+		o.pending = nil
+		o.mu.Unlock()
+
+		start := time.Now()
+		snap, err := o.build(g, v)
+		elapsed := time.Since(start)
+		if err == nil {
+			snap.buildDur = elapsed // set before publishing: snapshots are immutable once stored
+			o.cur.Store(snap)
+			o.cnt.rebuilds.Add(1)
+		} else {
+			o.cnt.rebuildErrors.Add(1)
+		}
+
+		o.mu.Lock()
+		o.lastDone, o.lastErr = v, err
+		close(o.notify)
+		o.notify = make(chan struct{})
+		o.mu.Unlock()
+
+		if o.cfg.OnRebuild != nil {
+			o.cfg.OnRebuild(v, elapsed, err)
+		}
+	}
+}
+
+// build runs the engine once and wraps the result as a snapshot.
+func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, error) {
+	ctx := o.ctx
+	if o.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.cfg.BuildTimeout)
+		defer cancel()
+	}
+	opts := make([]cliqueapsp.RunOption, 0, len(o.cfg.RunOptions)+1)
+	if o.cfg.Algorithm != "" {
+		opts = append(opts, cliqueapsp.WithAlgorithm(o.cfg.Algorithm))
+	}
+	opts = append(opts, o.cfg.RunOptions...)
+	res, err := o.eng.Run(ctx, g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(version, g, res, &o.cnt), nil
+}
+
+// Wait blocks until a snapshot with version ≥ version is serving, the build
+// responsible for it fails (returning that build's error), the context is
+// done, or the oracle is closed.
+func (o *Oracle) Wait(ctx context.Context, version uint64) error {
+	for {
+		o.mu.Lock()
+		ch := o.notify
+		done, doneErr, closed := o.lastDone, o.lastErr, o.closed
+		o.mu.Unlock()
+		if s := o.cur.Load(); s != nil && s.version >= version {
+			return nil
+		}
+		if done >= version {
+			if doneErr != nil {
+				return doneErr
+			}
+			return nil
+		}
+		if closed {
+			return ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Ready reports whether a snapshot is serving.
+func (o *Oracle) Ready() bool { return o.cur.Load() != nil }
+
+// Version returns the serving snapshot's version (0 before the first build).
+func (o *Oracle) Version() uint64 {
+	if s := o.cur.Load(); s != nil {
+		return s.version
+	}
+	return 0
+}
+
+// Close stops background rebuilding (aborting any in-flight engine run at
+// its next phase boundary) and waits for the build goroutine to exit.
+// Queries keep serving the last published snapshot; SetGraph and Wait
+// return ErrClosed afterwards. Close is idempotent.
+func (o *Oracle) Close() {
+	o.mu.Lock()
+	if !o.closed {
+		o.closed = true
+		close(o.notify)
+		o.notify = make(chan struct{})
+	}
+	o.mu.Unlock()
+	o.stop()
+	o.wg.Wait()
+}
+
+// Dist answers one distance query from the current snapshot.
+func (o *Oracle) Dist(u, v int) (DistResult, error) {
+	s := o.cur.Load()
+	if s == nil {
+		return DistResult{}, ErrNotReady
+	}
+	if err := s.check(u, v); err != nil {
+		return DistResult{}, err
+	}
+	o.cnt.distQueries.Add(1)
+	o.cnt.answers.Add(1)
+	return DistResult{Answer: s.answer(u, v), Version: s.version}, nil
+}
+
+// Batch answers every pair from one snapshot resolved once at entry, so the
+// result is internally consistent even while a rebuild swaps snapshots
+// mid-flight. No next-hop state is touched: a batch of distance lookups is
+// O(1) per pair against the snapshot's row storage.
+func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
+	s := o.cur.Load()
+	if s == nil {
+		return BatchResult{}, ErrNotReady
+	}
+	for _, p := range pairs {
+		if err := s.check(p.U, p.V); err != nil {
+			return BatchResult{}, err
+		}
+	}
+	answers := make([]Answer, len(pairs))
+	for i, p := range pairs {
+		answers[i] = s.answer(p.U, p.V)
+	}
+	o.cnt.batchQueries.Add(1)
+	o.cnt.answers.Add(uint64(len(pairs)))
+	return BatchResult{Version: s.version, Answers: answers}, nil
+}
+
+// Path answers one path query by greedy next-hop routing on the current
+// snapshot, memoizing each traversed source's next-hop row in the snapshot.
+// With approximate estimates greedy forwarding can dead-end or loop on rare
+// pairs; that is reported as an error rather than a wrong path.
+func (o *Oracle) Path(u, v int) (PathResult, error) {
+	s := o.cur.Load()
+	if s == nil {
+		return PathResult{}, ErrNotReady
+	}
+	if err := s.check(u, v); err != nil {
+		return PathResult{}, err
+	}
+	o.cnt.pathQueries.Add(1)
+	o.cnt.answers.Add(1)
+	return s.path(u, v)
+}
+
+// Stats returns the oracle's current counters.
+func (o *Oracle) Stats() Stats {
+	st := Stats{
+		DistQueries:   o.cnt.distQueries.Load(),
+		BatchQueries:  o.cnt.batchQueries.Load(),
+		PathQueries:   o.cnt.pathQueries.Load(),
+		Answers:       o.cnt.answers.Load(),
+		RowsBuilt:     o.cnt.rowsBuilt.Load(),
+		RowHits:       o.cnt.rowHits.Load(),
+		Rebuilds:      o.cnt.rebuilds.Load(),
+		RebuildErrors: o.cnt.rebuildErrors.Load(),
+	}
+	if s := o.cur.Load(); s != nil {
+		st.Version = s.version
+		st.SnapshotAge = time.Since(s.builtAt)
+		st.GraphN = s.n
+		st.GraphM = s.g.NumEdges()
+		st.Algorithm = string(s.res.Algorithm)
+		st.FactorBound = s.res.FactorBound
+		st.LastRebuild = s.buildDur
+	}
+	o.mu.Lock()
+	st.Pending = o.building || o.pending != nil
+	o.mu.Unlock()
+	return st
+}

@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+)
+
+// snapshot is one published build: the graph, the engine result, and lazily
+// materialized routing state. Everything except the memoization slots is
+// immutable after publication; the slots are guarded per-row by sync.Once,
+// so concurrent Path queries build each row at most once and never block
+// each other across rows.
+type snapshot struct {
+	version  uint64
+	builtAt  time.Time
+	buildDur time.Duration
+	g        *cliqueapsp.Graph
+	res      *cliqueapsp.Result
+	n        int
+	cnt      *counters
+
+	rowOnce []sync.Once
+	rows    [][]int
+
+	routerOnce sync.Once
+	router     *cliqueapsp.GreedyRouter
+}
+
+func newSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result, cnt *counters) *snapshot {
+	n := g.N()
+	return &snapshot{
+		version: version,
+		builtAt: time.Now(),
+		g:       g,
+		res:     res,
+		n:       n,
+		cnt:     cnt,
+		rowOnce: make([]sync.Once, n),
+		rows:    make([][]int, n),
+	}
+}
+
+func (s *snapshot) check(u, v int) error {
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		return fmt.Errorf("oracle: pair (%d,%d) out of range for n=%d (snapshot v%d)", u, v, s.n, s.version)
+	}
+	return nil
+}
+
+func (s *snapshot) answer(u, v int) Answer {
+	a := Answer{U: u, V: v, Distance: Unreachable}
+	if s.res.Distances.Reachable(u, v) {
+		a.Distance, a.Reachable = s.res.Distances.At(u, v), true
+	}
+	return a
+}
+
+// row returns node u's memoized next-hop row, building it on first use.
+func (s *snapshot) row(u int) []int {
+	hit := true
+	s.rowOnce[u].Do(func() {
+		hit = false
+		r, err := cliqueapsp.NextHopRow(s.g, s.res.Distances, u)
+		if err != nil {
+			// Unreachable: u and the matrix dimension were validated when the
+			// snapshot was built.
+			panic(fmt.Sprintf("oracle: next-hop row %d: %v", u, err))
+		}
+		s.rows[u] = r
+		s.cnt.rowsBuilt.Add(1)
+	})
+	if hit {
+		s.cnt.rowHits.Add(1)
+	}
+	return s.rows[u]
+}
+
+// path routes greedily from u to v over memoized next-hop rows, via the
+// library's GreedyRouter (built once per snapshot on first use).
+func (s *snapshot) path(u, v int) (PathResult, error) {
+	res := PathResult{U: u, V: v, Cost: Unreachable, Version: s.version}
+	if !s.res.Distances.Reachable(u, v) {
+		return res, nil
+	}
+	s.routerOnce.Do(func() {
+		s.router = cliqueapsp.NewGreedyRouter(s.g, s.row)
+	})
+	path, cost, err := s.router.Route(u, v)
+	if err != nil {
+		// ErrNoRoute on a reachable pair means greedy forwarding looped or
+		// dead-ended on the approximate estimate — surfaced, not guessed.
+		return res, fmt.Errorf("oracle: snapshot v%d: %w", s.version, err)
+	}
+	res.Reachable, res.Path, res.Cost = true, path, cost
+	return res, nil
+}

@@ -43,6 +43,11 @@ func (m *DistanceMatrix) N() int { return m.d.N() }
 // At returns the estimate of d(u,v). Indices must be in [0,N).
 func (m *DistanceMatrix) At(u, v int) int64 { return m.d.At(u, v) }
 
+// Reachable reports whether v is reachable from u in the estimate, i.e.
+// whether the entry (u,v) is finite. Estimates dominate the true distances,
+// so an entry below Inf certifies a real path.
+func (m *DistanceMatrix) Reachable(u, v int) bool { return m.d.At(u, v) < Inf }
+
 // Row returns node u's estimate vector as a zero-copy view into the shared
 // storage. Callers must treat it as read-only.
 func (m *DistanceMatrix) Row(u int) []int64 { return m.d.Row(u) }
@@ -88,7 +93,10 @@ type PhaseStat struct {
 	Words    int64
 }
 
-// Result reports a run's output and its simulated cost.
+// Result reports a run's output and its simulated cost. A Result is
+// immutable after Run returns: the engine never writes to it again, so it
+// can be handed off to other goroutines — e.g. swapped in as an oracle
+// snapshot — without copying or locking.
 type Result struct {
 	// Distances is the zero-copy view of the estimate; every entry dominates
 	// the true distance.

@@ -1,49 +1,139 @@
 package cliqueapsp
 
 import (
+	"errors"
 	"fmt"
 )
 
-// NextHopTables derives greedy next-hop routing tables from a distance
-// estimate: table[u][v] is the neighbor x of u minimizing w(u,x) + δ(x,v),
-// or -1 when v is unreachable from u's viewpoint. This is the classic
-// application of (approximate) APSP to network routing that motivates the
-// problem (paper §1).
+// NextHopRow computes node src's next-hop row from a distance estimate:
+// row[v] is the neighbor x of src minimizing w(src,x) + δ(x,v), src itself
+// for v == src, and -1 when v is unreachable from src's viewpoint. It is the
+// per-source building block of NextHopTables, exposed so callers that only
+// route from a few sources (the oracle package memoizes rows per snapshot)
+// don't pay the full n² table build.
 //
 // The distances may come from any Run result (or Exact); with exact
-// distances the tables route along true shortest paths.
+// distances the row routes along true shortest paths.
+func NextHopRow(g *Graph, distances *DistanceMatrix, src int) ([]int, error) {
+	if err := checkDistances(g, distances); err != nil {
+		return nil, err
+	}
+	if src < 0 || src >= g.N() {
+		return nil, fmt.Errorf("cliqueapsp: source %d out of range for n=%d", src, g.N())
+	}
+	row := make([]int, g.N())
+	nextHopInto(row, arcsOf(g, src), distances, src)
+	return row, nil
+}
+
+// NextHopTables derives greedy next-hop routing tables from a distance
+// estimate: table[u][v] is NextHopRow(g, distances, u)[v]. This is the
+// classic application of (approximate) APSP to network routing that
+// motivates the problem (paper §1).
 func NextHopTables(g *Graph, distances *DistanceMatrix) ([][]int, error) {
+	if err := checkDistances(g, distances); err != nil {
+		return nil, err
+	}
 	n := g.N()
-	if distances == nil {
-		return nil, fmt.Errorf("cliqueapsp: nil distance matrix")
-	}
-	if distances.N() != n {
-		return nil, fmt.Errorf("cliqueapsp: %d×%d distances for %d nodes", distances.N(), distances.N(), n)
-	}
 	adj := adjacency(g)
 	table := make([][]int, n)
 	for u := 0; u < n; u++ {
 		table[u] = make([]int, n)
-		for v := 0; v < n; v++ {
-			if u == v {
-				table[u][v] = u
-				continue
-			}
-			best, bestCost := -1, int64(0)
-			for _, a := range adj[u] {
-				d := distances.At(a.to, v)
-				if d >= Inf {
-					continue
-				}
-				cost := a.w + d
-				if best == -1 || cost < bestCost || (cost == bestCost && a.to < best) {
-					best, bestCost = a.to, cost
-				}
-			}
-			table[u][v] = best
-		}
+		nextHopInto(table[u], adj[u], distances, u)
 	}
 	return table, nil
+}
+
+// nextHopInto fills row with node u's greedy next hops toward every
+// destination, given u's incident arcs. Ties break toward the smallest
+// neighbor index so rows are deterministic per estimate.
+func nextHopInto(row []int, arcs []wArc, distances *DistanceMatrix, u int) {
+	for v := range row {
+		if u == v {
+			row[v] = u
+			continue
+		}
+		best, bestCost := -1, int64(0)
+		for _, a := range arcs {
+			d := distances.At(a.to, v)
+			if d >= Inf {
+				continue
+			}
+			cost := a.w + d
+			if best == -1 || cost < bestCost || (cost == bestCost && a.to < best) {
+				best, bestCost = a.to, cost
+			}
+		}
+		row[v] = best
+	}
+}
+
+func checkDistances(g *Graph, distances *DistanceMatrix) error {
+	if distances == nil {
+		return fmt.Errorf("cliqueapsp: nil distance matrix")
+	}
+	if n := g.N(); distances.N() != n {
+		return fmt.Errorf("cliqueapsp: %d×%d distances for %d nodes", distances.N(), distances.N(), n)
+	}
+	return nil
+}
+
+// ErrNoRoute reports that greedy forwarding hit a dead end or a loop before
+// reaching the destination — possible when next hops come from approximate
+// distances, and the expected outcome for unreachable pairs.
+var ErrNoRoute = errors.New("cliqueapsp: greedy forwarding found no route")
+
+// GreedyRouter walks greedy next-hop routes over per-source rows. The rows
+// callback supplies each visited node's next-hop row (a NextHopTables row,
+// a memoized NextHopRow, …); the router adds the edge-weight bookkeeping and
+// the loop guard shared by SimulateForwarding and the oracle package.
+type GreedyRouter struct {
+	n       int
+	weights []map[int]int64 // per-node neighbor → edge weight
+	rows    func(src int) []int
+}
+
+// NewGreedyRouter builds a router for g (one O(m) pass over the edges)
+// resolving hops through rows.
+func NewGreedyRouter(g *Graph, rows func(src int) []int) *GreedyRouter {
+	n := g.N()
+	weights := make([]map[int]int64, n)
+	for u, arcs := range adjacency(g) {
+		weights[u] = make(map[int]int64, len(arcs))
+		for _, a := range arcs {
+			weights[u][a.to] = a.w
+		}
+	}
+	return &GreedyRouter{n: n, weights: weights, rows: rows}
+}
+
+// Route forwards one packet from u to v, returning the realized hop
+// sequence (u..v inclusive) and its cost in edge weights. Dead ends and
+// loops (guarded by a TTL of 4n hops) return ErrNoRoute; a row naming a
+// non-neighbor as next hop is a corrupt-table error.
+func (r *GreedyRouter) Route(u, v int) ([]int, int64, error) {
+	if u < 0 || u >= r.n || v < 0 || v >= r.n {
+		return nil, 0, fmt.Errorf("cliqueapsp: route (%d,%d) out of range for n=%d", u, v, r.n)
+	}
+	path := []int{u}
+	cur, cost := u, int64(0)
+	for cur != v {
+		if len(path) > 4*r.n {
+			return nil, 0, fmt.Errorf("%w: loop routing %d to %d", ErrNoRoute, u, v)
+		}
+		nh := r.rows(cur)[v]
+		if nh < 0 || nh == cur {
+			return nil, 0, fmt.Errorf("%w: dead end at %d routing %d to %d", ErrNoRoute, cur, u, v)
+		}
+		w, exists := r.weights[cur][nh]
+		if !exists {
+			return nil, 0, fmt.Errorf("cliqueapsp: table routes %d->%d over a non-edge", cur, nh)
+		}
+		cost += w
+		path = append(path, nh)
+		cur = nh
+	}
+	return path, cost, nil
 }
 
 // ForwardingStats summarizes a greedy-forwarding simulation over next-hop
@@ -60,21 +150,15 @@ type ForwardingStats struct {
 
 // SimulateForwarding forwards one packet per connected (source,
 // destination) pair along the tables and measures the realized stretch
-// against exact distances. A TTL of 4n guards against loops.
+// against exact distances. Dead ends and loops (possible when tables come
+// from approximate distances) count as failures; a table routing over a
+// non-edge is an error.
 func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 	n := g.N()
 	if len(table) != n {
 		return ForwardingStats{}, fmt.Errorf("cliqueapsp: %d table rows for %d nodes", len(table), n)
 	}
-	// Per-node neighbor→weight maps: hop resolution is O(1) instead of a
-	// linear scan of the adjacency list on every forwarded hop.
-	weights := make([]map[int]int64, n)
-	for u, arcs := range adjacency(g) {
-		weights[u] = make(map[int]int64, len(arcs))
-		for _, a := range arcs {
-			weights[u][a.to] = a.w
-		}
-	}
+	router := NewGreedyRouter(g, func(src int) []int { return table[src] })
 	exact := Exact(g)
 	var stats ForwardingStats
 	var sum float64
@@ -83,27 +167,13 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 			if u == v || exact.At(u, v) >= Inf {
 				continue
 			}
-			cur, cost, ok := u, int64(0), true
-			for ttl := 0; cur != v; ttl++ {
-				if ttl > 4*n {
-					ok = false
-					break
-				}
-				nh := table[cur][v]
-				if nh < 0 || nh == cur {
-					ok = false
-					break
-				}
-				w, exists := weights[cur][nh]
-				if !exists {
-					return ForwardingStats{}, fmt.Errorf("cliqueapsp: table routes %d->%d over a non-edge", cur, nh)
-				}
-				cost += w
-				cur = nh
-			}
-			if !ok {
+			_, cost, err := router.Route(u, v)
+			if errors.Is(err, ErrNoRoute) {
 				stats.Failed++
 				continue
+			}
+			if err != nil {
+				return ForwardingStats{}, err
 			}
 			stats.Delivered++
 			stretch := 1.0
@@ -129,9 +199,19 @@ type wArc struct {
 
 func adjacency(g *Graph) [][]wArc {
 	adj := make([][]wArc, g.N())
-	for _, e := range g.Edges() {
-		adj[e.U] = append(adj[e.U], wArc{to: e.V, w: e.W})
-		adj[e.V] = append(adj[e.V], wArc{to: e.U, w: e.W})
+	for u := range adj {
+		adj[u] = arcsOf(g, u)
 	}
 	return adj
+}
+
+// arcsOf returns node u's incident arcs without materializing the full edge
+// list (the graph stores both directions of every undirected edge).
+func arcsOf(g *Graph, u int) []wArc {
+	out := g.inner.Out(u)
+	arcs := make([]wArc, len(out))
+	for i, a := range out {
+		arcs[i] = wArc{to: a.To, w: a.W}
+	}
+	return arcs
 }

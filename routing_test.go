@@ -86,6 +86,98 @@ func TestNextHopTablesDisconnected(t *testing.T) {
 	}
 }
 
+func TestNextHopRowMatchesTables(t *testing.T) {
+	g := RandomGraph(40, 25, 17)
+	dist := Exact(g)
+	table, err := NextHopTables(g, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		row, err := NextHopRow(g, dist, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range row {
+			if row[v] != table[u][v] {
+				t.Fatalf("row %d disagrees with table at %d: %d vs %d", u, v, row[v], table[u][v])
+			}
+		}
+	}
+}
+
+func TestNextHopRowDisconnected(t *testing.T) {
+	// Components {0,1,2} (path) and {3,4}; an isolated node 5.
+	g := NewGraph(6)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 1, 2, 2)
+	mustAdd(t, g, 3, 4, 1)
+	dist := Exact(g)
+	row, err := NextHopRow(g, dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 0 || row[1] != 1 || row[2] != 1 {
+		t.Fatalf("in-component hops %v", row[:3])
+	}
+	for _, v := range []int{3, 4, 5} {
+		if row[v] != -1 {
+			t.Fatalf("unreachable destination %d got hop %d, want -1", v, row[v])
+		}
+	}
+	iso, err := NextHopRow(g, dist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, h := range iso {
+		want := -1
+		if v == 5 {
+			want = 5
+		}
+		if h != want {
+			t.Fatalf("isolated node hop to %d = %d, want %d", v, h, want)
+		}
+	}
+
+	// Forwarding over the full tables must terminate without failures:
+	// disconnected pairs are skipped, never looped on.
+	table, err := NextHopTables(g, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SimulateForwarding(g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("%d forwarding failures on a disconnected graph", stats.Failed)
+	}
+	if stats.Delivered == 0 {
+		t.Fatal("in-component pairs not delivered")
+	}
+}
+
+func TestNextHopRowValidation(t *testing.T) {
+	g := RandomGraph(8, 5, 1)
+	dist := Exact(g)
+	if _, err := NextHopRow(g, nil, 0); err == nil {
+		t.Fatal("nil distances accepted")
+	}
+	if _, err := NextHopRow(g, dist, -1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := NextHopRow(g, dist, 8); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	small, err := DistancesFromSlices([][]int64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NextHopRow(g, small, 0); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
 func TestNextHopTablesValidation(t *testing.T) {
 	g := RandomGraph(8, 5, 1)
 	if _, err := NextHopTables(g, nil); err == nil {
