@@ -1,28 +1,50 @@
-// Command ccserve is a distance-oracle daemon: it holds an oracle.Oracle
-// over the cliqueapsp Engine and serves distance, batch and path queries
-// over HTTP/JSON. Graphs are uploaded at runtime (or preloaded with -graph);
-// every rebuild runs the configured algorithm in the background while the
-// previous snapshot keeps serving, and every response reports the snapshot
-// version that answered it.
+// Command ccserve is a multi-tenant distance-oracle daemon: it holds an
+// oracle.Manager hosting many named, independently versioned oracles over
+// one cliqueapsp Engine and serves distance, batch and path queries over
+// HTTP/JSON. Every tenant picks its own algorithm/accuracy tradeoff; every
+// rebuild runs in the background while the previous snapshot keeps serving,
+// and every response reports the snapshot version that answered it.
+//
+// The single-graph routes of earlier versions keep working unchanged — they
+// are served by a pinned "default" tenant that exists from startup.
 //
 // Endpoints:
 //
-//	POST /v1/graph   upload a graph (JSON {"n":…,"edges":[[u,v,w],…]} or
-//	                 the ccgen edge-list format); ?wait=1 blocks until the
-//	                 rebuild finishes
-//	GET  /v1/dist    ?u=0&v=3 — one distance
+//	POST /v1/graph   upload a graph to the default tenant (JSON
+//	                 {"n":…,"edges":[[u,v,w],…]} or the ccgen edge-list
+//	                 format); ?wait=1 blocks until the rebuild finishes
+//	GET  /v1/dist    ?u=0&v=3 — one distance (default tenant)
 //	POST /v1/batch   {"pairs":[[0,1],[2,3],…]} — many distances, one snapshot
 //	GET  /v1/path    ?u=0&v=3 — greedy next-hop route and its cost
-//	GET  /v1/stats   oracle + server counters
-//	GET  /healthz    200 once a snapshot serves
+//	GET  /v1/stats   default-tenant + HTTP counters, manager aggregate and
+//	                 per-tenant breakdown (evictions included)
+//	GET  /healthz    200 once the default tenant serves
+//
+//	GET    /v1/graphs                 list hosted graphs
+//	POST   /v1/graphs                 create a tenant: {"name":…,
+//	                                  "algorithm":…,"eps":…,"seed":…,
+//	                                  "max_nodes":…}
+//	GET    /v1/graphs/{name}          one tenant's summary
+//	DELETE /v1/graphs/{name}          remove a tenant
+//	POST   /v1/graphs/{name}/graph    upload that tenant's graph (?wait=1)
+//	GET    /v1/graphs/{name}/dist     ?u=0&v=3
+//	POST   /v1/graphs/{name}/batch    {"pairs":[…]}
+//	GET    /v1/graphs/{name}/path     ?u=0&v=3
+//	GET    /v1/graphs/{name}/stats    that tenant's full counters
+//
+// Admission is bounded by -maxgraphs (hosted tenants) and -maxtotaln
+// (summed nodes across graphs); when full, the least-recently-used idle
+// tenant is evicted — observable in /v1/stats under manager.evictions.
 //
 // Example:
 //
 //	ccserve -addr 127.0.0.1:8080 -alg constant -eps 0.1
 //	curl -s -XPOST -H 'Content-Type: application/json' \
+//	     -d '{"name":"roads","algorithm":"tradeoff"}' localhost:8080/v1/graphs
+//	curl -s -XPOST -H 'Content-Type: application/json' \
 //	     -d '{"n":4,"edges":[[0,1,3],[1,2,1],[2,3,2]]}' \
-//	     'localhost:8080/v1/graph?wait=1'
-//	curl -s 'localhost:8080/v1/dist?u=0&v=3'
+//	     'localhost:8080/v1/graphs/roads/graph?wait=1'
+//	curl -s 'localhost:8080/v1/graphs/roads/dist?u=0&v=3'
 package main
 
 import (
@@ -44,15 +66,17 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
-		alg          = flag.String("alg", "constant", "algorithm rebuilds run (see ccapsp -list)")
+		alg          = flag.String("alg", "constant", "default algorithm rebuilds run (see ccapsp -list)")
 		eps          = flag.Float64("eps", 0.1, "accuracy slack of the scaling stages")
 		t            = flag.Int("t", 1, "tradeoff parameter (alg=tradeoff)")
 		det          = flag.Bool("det", false, "deterministic rebuilds (greedy hitting sets)")
 		seed         = flag.Int64("seed", 0, "pin the rebuild seed (0 = engine-derived per rebuild)")
-		graphFile    = flag.String("graph", "", "preload a graph file (ccgen format) before serving")
+		graphFile    = flag.String("graph", "", "preload the default tenant's graph (ccgen format) before serving")
 		maxN         = flag.Int("maxn", 4096, "largest accepted graph (nodes)")
 		maxBatch     = flag.Int("maxbatch", 100000, "most pairs per batch query")
 		maxBody      = flag.Int64("maxbody", 32<<20, "request body limit in bytes")
+		maxGraphs    = flag.Int("maxgraphs", 64, "most hosted graphs; LRU-evicts idle tenants when full (0 = unlimited)")
+		maxTotalN    = flag.Int("maxtotaln", 65536, "summed node budget across all hosted graphs (0 = unlimited)")
 		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
 	)
@@ -67,19 +91,21 @@ func main() {
 	if *seed != 0 {
 		runOpts = append(runOpts, cliqueapsp.WithSeed(*seed))
 	}
-	o := oracle.New(oracle.Config{
-		Algorithm:    cliqueapsp.Algorithm(*alg),
-		RunOptions:   runOpts,
-		BuildTimeout: *buildTimeout,
-		OnRebuild: func(version uint64, elapsed time.Duration, err error) {
-			if err != nil {
-				logger.Printf("rebuild v%d failed after %s: %v", version, elapsed, err)
-				return
-			}
-			logger.Printf("rebuild v%d done in %s", version, elapsed)
+	handler, err := newServer(serverConfig{
+		lim:           limits{maxNodes: *maxN, maxBatch: *maxBatch, maxBody: *maxBody},
+		maxGraphs:     *maxGraphs,
+		maxTotalNodes: *maxTotalN,
+		base: oracle.Config{
+			Algorithm:    cliqueapsp.Algorithm(*alg),
+			RunOptions:   runOpts,
+			BuildTimeout: *buildTimeout,
 		},
+		logf: logger.Printf,
 	})
-	defer o.Close()
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer handler.Close()
 
 	if *graphFile != "" {
 		f, err := os.Open(*graphFile)
@@ -93,23 +119,23 @@ func main() {
 		if err != nil {
 			logger.Fatal(err)
 		}
-		version, err := o.SetGraph(g)
+		version, err := handler.def.SetGraph(g)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("preloaded %s: n=%d m=%d version=%d (building)", *graphFile, g.N(), g.NumEdges(), version)
 	}
 
-	lim := limits{maxNodes: *maxN, maxBatch: *maxBatch, maxBody: *maxBody}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(o, lim, logger.Printf),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d)", *addr, *alg, *maxN, *maxBatch)
+		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d)",
+			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -127,6 +153,6 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("shutdown: %v", err)
 	}
-	o.Close()
+	handler.Close()
 	fmt.Fprintln(os.Stderr, "ccserve: bye")
 }

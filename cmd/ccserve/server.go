@@ -5,14 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/oracle"
 )
+
+// defaultTenant is the pinned tenant behind the single-graph /v1/* routes;
+// it exists from startup so the pre-manager API keeps its exact behavior.
+const defaultTenant = "default"
 
 // limits bounds what one request may ask of the server.
 type limits struct {
@@ -25,37 +31,97 @@ func defaultLimits() limits {
 	return limits{maxNodes: 4096, maxBatch: 100000, maxBody: 32 << 20}
 }
 
-// server is the HTTP surface over an oracle. It carries expvar-style
-// request counters surfaced by /v1/stats alongside the oracle's own.
-type server struct {
-	o      *oracle.Oracle
-	lim    limits
-	mux    *http.ServeMux
-	start  time.Time
-	logf   func(format string, args ...any)
-	reqs   atomic.Uint64 // total requests
-	errs   atomic.Uint64 // responses with status >= 400
-	graphs atomic.Uint64 // accepted graph uploads
+// serverConfig wires the HTTP surface: per-request limits plus the
+// multi-tenant admission budgets and the base oracle configuration every
+// tenant inherits.
+type serverConfig struct {
+	lim           limits
+	maxGraphs     int // most hosted graphs (0 = unlimited)
+	maxTotalNodes int // summed node budget across graphs (0 = unlimited)
+	base          oracle.Config
+	logf          func(format string, args ...any)
 }
 
-func newServer(o *oracle.Oracle, lim limits, logf func(format string, args ...any)) *server {
+// tenantName constrains what names the HTTP API accepts, so tenant names
+// embed safely in paths and logs.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// server is the HTTP surface over an oracle.Manager. It carries
+// expvar-style request counters surfaced by /v1/stats alongside the
+// manager's and every tenant's own.
+type server struct {
+	mgr   *oracle.Manager
+	def   *oracle.Tenant // the pinned default tenant
+	lim   limits
+	mux   *http.ServeMux
+	start time.Time
+	logf  func(format string, args ...any)
+
+	tmu  sync.Mutex
+	tlim map[string]int // per-tenant max-node overrides (≤ lim.maxNodes)
+
+	reqs   atomic.Uint64 // total requests
+	errs   atomic.Uint64 // responses with status >= 400
+	graphs atomic.Uint64 // accepted graph uploads (all tenants)
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	logf := cfg.logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &server{o: o, lim: lim, mux: http.NewServeMux(), start: time.Now(), logf: logf}
+	s := &server{
+		lim:   cfg.lim,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		logf:  logf,
+		tlim:  make(map[string]int),
+	}
+	s.mgr = oracle.NewManager(oracle.ManagerConfig{
+		MaxGraphs:     cfg.maxGraphs,
+		MaxTotalNodes: cfg.maxTotalNodes,
+		Base:          cfg.base,
+		OnEvict: func(name string) {
+			s.tmu.Lock()
+			delete(s.tlim, name)
+			s.tmu.Unlock()
+			logf("tenant %q evicted (LRU)", name)
+		},
+		OnRebuild: func(name string, version uint64, elapsed time.Duration, err error) {
+			if err != nil {
+				logf("tenant %q rebuild v%d failed after %s: %v", name, version, elapsed, err)
+				return
+			}
+			logf("tenant %q rebuild v%d done in %s", name, version, elapsed)
+		},
+	})
+	def, err := s.mgr.Create(defaultTenant, oracle.TenantConfig{Pinned: true})
+	if err != nil {
+		s.mgr.Close()
+		return nil, fmt.Errorf("creating the default tenant: %w", err)
+	}
+	s.def = def
+
+	// Single-graph routes: the pre-manager API, served by the default tenant.
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/path", s.handlePath)
 	s.mux.HandleFunc("/v1/graph", s.handleGraph)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
+	// Multi-tenant routes.
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("/v1/graphs/", s.handleTenant)
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Add(1)
 	s.mux.ServeHTTP(w, r)
 }
+
+// Close drains every tenant's build loop.
+func (s *server) Close() { s.mgr.Close() }
 
 func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	if status >= 400 {
@@ -73,21 +139,32 @@ type errorBody struct {
 }
 
 // fail maps an error to a status: oracle-not-ready serves 503 (retryable),
-// everything else defaults to 400 unless overridden.
+// unknown tenants 404, admission rejections 429, everything else defaults
+// to the given status.
 func (s *server) fail(w http.ResponseWriter, status int, err error) {
-	if errors.Is(err, oracle.ErrNotReady) {
+	switch {
+	case errors.Is(err, oracle.ErrNotReady) || errors.Is(err, oracle.ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, oracle.ErrTenantNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, oracle.ErrTenantExists):
+		status = http.StatusConflict
+	case errors.Is(err, oracle.ErrOverCapacity):
+		status = http.StatusTooManyRequests
 	}
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func (s *server) requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		w.Header().Set("Allow", method)
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: fmt.Sprintf("use %s %s", method, r.URL.Path)})
-		return false
+func (s *server) requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, method := range methods {
+		if r.Method == method {
+			return true
+		}
 	}
-	return true
+	allow := strings.Join(methods, ", ")
+	w.Header().Set("Allow", allow)
+	s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: fmt.Sprintf("use %s %s", allow, r.URL.Path)})
+	return false
 }
 
 // queryPair parses the u/v query parameters.
@@ -103,17 +180,16 @@ func queryPair(r *http.Request) (int, int, error) {
 	return u, v, nil
 }
 
-// GET /v1/dist?u=0&v=3
-func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
+// ---- per-tenant core handlers (shared by /v1/* and /v1/graphs/{name}/*) ----
+
+// GET …/dist?u=0&v=3
+func (s *server) dist(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
 	u, v, err := queryPair(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.o.Dist(u, v)
+	res, err := t.Dist(u, v)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -151,11 +227,8 @@ func (p *jsonPair) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// POST /v1/batch with {"pairs":[[0,1],{"u":2,"v":3},…]}
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodPost) {
-		return
-	}
+// POST …/batch with {"pairs":[[0,1],{"u":2,"v":3},…]}
+func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
 	var req struct {
 		Pairs []jsonPair `json:"pairs"`
 	}
@@ -177,7 +250,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Pairs {
 		pairs[i] = oracle.Pair(p)
 	}
-	res, err := s.o.Batch(pairs)
+	res, err := t.Batch(pairs)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -185,17 +258,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, res)
 }
 
-// GET /v1/path?u=0&v=3
-func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodGet) {
-		return
-	}
+// GET …/path?u=0&v=3
+func (s *server) path(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
 	u, v, err := queryPair(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.o.Path(u, v)
+	res, err := t.Path(u, v)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -244,17 +314,24 @@ func (e *jsonEdge) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// POST /v1/graph registers a new graph and schedules a rebuild. JSON bodies
-// ({"n":4,"edges":[[0,1,3],…]}) and the package's plain edge-list format
-// (Content-Type text/plain, as written by ccgen) are both accepted.
-// With ?wait=1 the response is delayed until the rebuild finishes (bounded
-// by the request context), so the reported version is immediately queryable.
-func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	if !s.requireMethod(w, r, http.MethodPost) {
-		return
+// maxNodesFor resolves the effective node limit for a tenant: the global
+// -maxn bound, tightened by the tenant's own max_nodes if one was set at
+// creation.
+func (s *server) maxNodesFor(name string) int {
+	max := s.lim.maxNodes
+	s.tmu.Lock()
+	if own, ok := s.tlim[name]; ok && own < max {
+		max = own
 	}
+	s.tmu.Unlock()
+	return max
+}
+
+// readGraph decodes a request body as a graph: JSON
+// ({"n":4,"edges":[[0,1,3],…]}) or the package's plain edge-list format
+// (as written by ccgen), bounded by maxNodes.
+func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int) (*cliqueapsp.Graph, bool) {
 	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
-	var g *cliqueapsp.Graph
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req struct {
 			N     int        `json:"n"`
@@ -262,49 +339,58 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: %w", err))
-			return
+			return nil, false
 		}
 		if req.N < 1 {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: n must be ≥ 1"))
-			return
+			return nil, false
 		}
-		if req.N > s.lim.maxNodes {
+		if req.N > maxNodes {
 			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("graph of %d nodes exceeds the limit of %d", req.N, s.lim.maxNodes))
-			return
+				fmt.Errorf("graph of %d nodes exceeds the limit of %d", req.N, maxNodes))
+			return nil, false
 		}
-		g = cliqueapsp.NewGraph(req.N)
+		g := cliqueapsp.NewGraph(req.N)
 		for i, e := range req.Edges {
 			if err := g.AddEdge(e.U, e.V, e.W); err != nil {
 				s.fail(w, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
-				return
+				return nil, false
 			}
 		}
-	} else {
-		var err error
-		g, err = cliqueapsp.ReadGraph(body)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body (edge-list): %w", err))
-			return
-		}
-		if g.N() > s.lim.maxNodes {
-			s.fail(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("graph of %d nodes exceeds the limit of %d", g.N(), s.lim.maxNodes))
-			return
-		}
+		return g, true
 	}
+	g, err := cliqueapsp.ReadGraph(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body (edge-list): %w", err))
+		return nil, false
+	}
+	if g.N() > maxNodes {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph of %d nodes exceeds the limit of %d", g.N(), maxNodes))
+		return nil, false
+	}
+	return g, true
+}
 
-	version, err := s.o.SetGraph(g)
+// POST …/graph registers a new graph for a tenant and schedules a rebuild.
+// With ?wait=1 the response is delayed until the rebuild finishes (bounded
+// by the request context), so the reported version is immediately queryable.
+func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
+	g, ok := s.readGraph(w, r, s.maxNodesFor(t.Name()))
+	if !ok {
+		return
+	}
+	version, err := t.SetGraph(g)
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.graphs.Add(1)
-	s.logf("graph accepted: n=%d m=%d version=%d", g.N(), g.NumEdges(), version)
+	s.logf("graph accepted: tenant=%s n=%d m=%d version=%d", t.Name(), g.N(), g.NumEdges(), version)
 
 	status := http.StatusAccepted
 	if r.URL.Query().Get("wait") != "" {
-		if err := s.o.Wait(r.Context(), version); err != nil {
+		if err := t.Wait(r.Context(), version); err != nil {
 			s.fail(w, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))
 			return
 		}
@@ -318,31 +404,62 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}{Version: version, N: g.N(), M: g.NumEdges(), Ready: status == http.StatusOK})
 }
 
-// GET /v1/stats
+// ---- single-graph routes (default tenant, pre-manager behavior) ----
+
+func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
+	if s.requireMethod(w, r, http.MethodGet) {
+		s.dist(w, r, s.def)
+	}
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.requireMethod(w, r, http.MethodPost) {
+		s.batch(w, r, s.def)
+	}
+}
+
+func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
+	if s.requireMethod(w, r, http.MethodGet) {
+		s.path(w, r, s.def)
+	}
+}
+
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if s.requireMethod(w, r, http.MethodPost) {
+		s.uploadGraph(w, r, s.def)
+	}
+}
+
+// GET /v1/stats — the default tenant's counters (flattened, the
+// pre-manager shape) plus HTTP counters and the manager aggregate with
+// per-tenant breakdown.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !s.requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, struct {
 		oracle.Stats
-		UptimeNS     time.Duration `json:"uptime_ns"`
-		HTTPRequests uint64        `json:"http_requests"`
-		HTTPErrors   uint64        `json:"http_errors"`
-		GraphUploads uint64        `json:"graph_uploads"`
+		UptimeNS     time.Duration       `json:"uptime_ns"`
+		HTTPRequests uint64              `json:"http_requests"`
+		HTTPErrors   uint64              `json:"http_errors"`
+		GraphUploads uint64              `json:"graph_uploads"`
+		Manager      oracle.ManagerStats `json:"manager"`
 	}{
-		Stats:        s.o.Stats(),
+		Stats:        s.def.Stats().Oracle,
 		UptimeNS:     time.Since(s.start),
 		HTTPRequests: s.reqs.Load(),
 		HTTPErrors:   s.errs.Load(),
 		GraphUploads: s.graphs.Load(),
+		Manager:      s.mgr.Stats(),
 	})
 }
 
-// GET /healthz — 200 once a snapshot serves, 503 before. Not-ready probes
-// bypass the error counter: a liveness check polling through a long initial
-// build would otherwise drown real client errors in /v1/stats.
+// GET /healthz — 200 once the default tenant serves a snapshot, 503
+// before. Not-ready probes bypass the error counter: a liveness check
+// polling through a long initial build would otherwise drown real client
+// errors in /v1/stats.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ready := s.o.Ready()
+	ready := s.def.Ready()
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
@@ -352,5 +469,195 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(struct {
 		Ready   bool   `json:"ready"`
 		Version uint64 `json:"version"`
-	}{Ready: ready, Version: s.o.Version()})
+		Graphs  int    `json:"graphs"`
+	}{Ready: ready, Version: s.def.Version(), Graphs: len(s.mgr.Names())})
+}
+
+// ---- multi-tenant routes ----
+
+// tenantSummary is one row of the /v1/graphs listing.
+type tenantSummary struct {
+	Name      string `json:"name"`
+	Pinned    bool   `json:"pinned"`
+	Ready     bool   `json:"ready"`
+	Version   uint64 `json:"version"`
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+}
+
+func summarize(ts oracle.TenantStats) tenantSummary {
+	return tenantSummary{
+		Name:      ts.Name,
+		Pinned:    ts.Pinned,
+		Ready:     ts.Oracle.Version > 0,
+		Version:   ts.Oracle.Version,
+		Algorithm: ts.Oracle.Algorithm,
+		N:         ts.Oracle.GraphN,
+		M:         ts.Oracle.GraphM,
+	}
+}
+
+// handleGraphs serves the collection: GET /v1/graphs lists tenants,
+// POST /v1/graphs creates one.
+func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st := s.mgr.Stats()
+		out := struct {
+			Count  int             `json:"count"`
+			Graphs []tenantSummary `json:"graphs"`
+		}{Count: st.Graphs, Graphs: make([]tenantSummary, len(st.Tenants))}
+		for i, ts := range st.Tenants {
+			out.Graphs[i] = summarize(ts)
+		}
+		s.writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		s.createTenant(w, r)
+	default:
+		s.requireMethod(w, r, http.MethodGet, http.MethodPost)
+	}
+}
+
+// POST /v1/graphs with {"name":"sf-roads","algorithm":"tradeoff","eps":0.2,
+// "seed":7,"max_nodes":512}. Algorithm, eps and seed override the server's
+// -alg/-eps/-seed defaults for this tenant only; max_nodes tightens -maxn.
+func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name      string  `json:"name"`
+		Algorithm string  `json:"algorithm"`
+		Eps       float64 `json:"eps"`
+		Seed      int64   `json:"seed"`
+		MaxNodes  int     `json:"max_nodes"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("create body: %w", err))
+		return
+	}
+	if !tenantName.MatchString(req.Name) {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("tenant name %q: want 1-64 of [a-zA-Z0-9._-], starting alphanumeric", req.Name))
+		return
+	}
+	if req.Algorithm != "" && !algorithmRegistered(req.Algorithm) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (see GET /v1/graphs or ccapsp -list)", req.Algorithm))
+		return
+	}
+	if req.MaxNodes < 0 || req.Eps < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("max_nodes and eps must be nonnegative"))
+		return
+	}
+	t, err := s.mgr.Create(req.Name, oracle.TenantConfig{
+		Algorithm: cliqueapsp.Algorithm(req.Algorithm),
+		Eps:       req.Eps,
+		Seed:      req.Seed,
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MaxNodes > 0 {
+		s.tmu.Lock()
+		s.tlim[req.Name] = req.MaxNodes
+		s.tmu.Unlock()
+	}
+	s.logf("tenant %q created (algorithm=%q)", req.Name, req.Algorithm)
+	s.writeJSON(w, http.StatusCreated, summarize(t.Stats()))
+}
+
+func algorithmRegistered(name string) bool {
+	for _, a := range cliqueapsp.Algorithms() {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTenant routes /v1/graphs/{name} and /v1/graphs/{name}/{op}.
+func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
+	name, op, hasOp := strings.Cut(rest, "/")
+	if !tenantName.MatchString(name) || (hasOp && strings.Contains(op, "/")) {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no route %s", r.URL.Path)})
+		return
+	}
+
+	if !hasOp || op == "" {
+		switch r.Method {
+		case http.MethodGet:
+			// Peek, not Get: a monitoring scrape must not refresh LRU
+			// recency, or eviction would track poll phase instead of
+			// actual query traffic.
+			t, err := s.mgr.Peek(name)
+			if err != nil {
+				s.fail(w, http.StatusNotFound, err)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, summarize(t.Stats()))
+		case http.MethodDelete:
+			s.deleteTenant(w, name)
+		default:
+			s.requireMethod(w, r, http.MethodGet, http.MethodDelete)
+		}
+		return
+	}
+
+	var method string
+	var serve func(http.ResponseWriter, *http.Request, *oracle.Tenant)
+	touch := true // stats scrapes resolve via Peek to leave LRU order alone
+	switch op {
+	case "dist":
+		method, serve = http.MethodGet, s.dist
+	case "path":
+		method, serve = http.MethodGet, s.path
+	case "batch":
+		method, serve = http.MethodPost, s.batch
+	case "graph":
+		method, serve = http.MethodPost, s.uploadGraph
+	case "stats":
+		method, serve, touch = http.MethodGet, s.tenantStats, false
+	default:
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no route %s", r.URL.Path)})
+		return
+	}
+	if !s.requireMethod(w, r, method) {
+		return
+	}
+	resolve := s.mgr.Get
+	if !touch {
+		resolve = s.mgr.Peek
+	}
+	t, err := resolve(name)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	serve(w, r, t)
+}
+
+// GET /v1/graphs/{name}/stats — the tenant's full oracle counters.
+func (s *server) tenantStats(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
+	s.writeJSON(w, http.StatusOK, t.Stats())
+}
+
+// DELETE /v1/graphs/{name}
+func (s *server) deleteTenant(w http.ResponseWriter, name string) {
+	if name == defaultTenant {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("the %q tenant backs the single-graph /v1 routes and cannot be deleted", defaultTenant))
+		return
+	}
+	if err := s.mgr.Delete(name); err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	s.tmu.Lock()
+	delete(s.tlim, name)
+	s.tmu.Unlock()
+	s.logf("tenant %q deleted", name)
+	s.writeJSON(w, http.StatusOK, struct {
+		Deleted string `json:"deleted"`
+	}{Deleted: name})
 }

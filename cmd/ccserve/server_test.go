@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,9 +18,10 @@ import (
 )
 
 func init() {
-	// A central exact backend keeps the end-to-end test fast and makes every
-	// expected response value checkable against cliqueapsp.Exact.
-	err := cliqueapsp.Register("ccserve-test-exact", cliqueapsp.AlgorithmSpec{
+	// A central exact backend keeps the end-to-end tests fast and makes every
+	// expected response value checkable against cliqueapsp.Exact; the doubled
+	// variant gives multi-tenant tests an observably different algorithm.
+	mustRegister("ccserve-test-exact", cliqueapsp.AlgorithmSpec{
 		Summary:     "central exact backend for ccserve tests",
 		FactorBound: "1",
 		RoundClass:  "0",
@@ -28,22 +30,62 @@ func init() {
 			return cliqueapsp.AlgorithmOutput{Distances: cliqueapsp.Exact(g), Factor: 1}, nil
 		},
 	})
-	if err != nil {
+	mustRegister("ccserve-test-double", cliqueapsp.AlgorithmSpec{
+		Summary:     "doubled exact distances for multi-tenant ccserve tests",
+		FactorBound: "2",
+		RoundClass:  "0",
+		Bandwidth:   "n/a",
+		Run: func(ctx context.Context, g *cliqueapsp.Graph, p cliqueapsp.RunParams) (cliqueapsp.AlgorithmOutput, error) {
+			exact := cliqueapsp.Exact(g)
+			n := g.N()
+			rows := make([][]int64, n)
+			for u := 0; u < n; u++ {
+				rows[u] = make([]int64, n)
+				for v := 0; v < n; v++ {
+					d := exact.At(u, v)
+					if d < cliqueapsp.Inf {
+						d *= 2
+					}
+					rows[u][v] = d
+				}
+			}
+			doubled, err := cliqueapsp.DistancesFromSlices(rows)
+			if err != nil {
+				return cliqueapsp.AlgorithmOutput{}, err
+			}
+			return cliqueapsp.AlgorithmOutput{Distances: doubled, Factor: 2}, nil
+		},
+	})
+}
+
+func mustRegister(name cliqueapsp.Algorithm, spec cliqueapsp.AlgorithmSpec) {
+	if err := cliqueapsp.Register(name, spec); err != nil {
 		panic(err)
+	}
+}
+
+func testConfig(lim limits) serverConfig {
+	return serverConfig{
+		lim:  lim,
+		base: oracle.Config{Algorithm: "ccserve-test-exact"},
 	}
 }
 
 // startServer spins up a real HTTP server on a random loopback port, the
 // same wiring main uses, and returns its base URL.
-func startServer(t *testing.T, lim limits) string {
+func startServer(t *testing.T, cfg serverConfig) string {
 	t.Helper()
-	o := oracle.New(oracle.Config{Algorithm: "ccserve-test-exact"})
-	t.Cleanup(o.Close)
+	cfg.logf = t.Logf
+	handler, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(handler.Close)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(o, lim, t.Logf)}
+	srv := &http.Server{Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -78,6 +120,19 @@ func postJSON(t *testing.T, url, contentType, body string, wantStatus int, out a
 	decodeBody(t, resp, wantStatus, out)
 }
 
+func doJSON(t *testing.T, method, url string, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, wantStatus, out)
+}
+
 func decodeBody(t *testing.T, resp *http.Response, wantStatus int, out any) {
 	t.Helper()
 	defer resp.Body.Close()
@@ -97,7 +152,7 @@ func decodeBody(t *testing.T, resp *http.Response, wantStatus int, out any) {
 }
 
 func TestServerEndToEnd(t *testing.T) {
-	base := startServer(t, defaultLimits())
+	base := startServer(t, testConfig(defaultLimits()))
 
 	// Before any graph: health says not ready, queries say 503.
 	var health struct {
@@ -146,9 +201,10 @@ func TestServerEndToEnd(t *testing.T) {
 
 	var stats struct {
 		oracle.Stats
-		HTTPRequests uint64 `json:"http_requests"`
-		HTTPErrors   uint64 `json:"http_errors"`
-		GraphUploads uint64 `json:"graph_uploads"`
+		HTTPRequests uint64              `json:"http_requests"`
+		HTTPErrors   uint64              `json:"http_errors"`
+		GraphUploads uint64              `json:"graph_uploads"`
+		Manager      oracle.ManagerStats `json:"manager"`
 	}
 	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
 	if stats.Version != up.Version || stats.GraphN != 4 || stats.GraphUploads != 1 {
@@ -165,6 +221,13 @@ func TestServerEndToEnd(t *testing.T) {
 	if stats.HTTPRequests == 0 {
 		t.Fatal("no http requests counted")
 	}
+	// The manager aggregate reports the default tenant.
+	if stats.Manager.Graphs != 1 || len(stats.Manager.Tenants) != 1 {
+		t.Fatalf("manager stats %+v", stats.Manager)
+	}
+	if ts := stats.Manager.Tenants[0]; ts.Name != "default" || !ts.Pinned || ts.Nodes != 4 {
+		t.Fatalf("default tenant stats %+v", ts)
+	}
 
 	getJSON(t, base+"/healthz", http.StatusOK, &health)
 	if !health.Ready {
@@ -173,7 +236,7 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestServerEdgeListUploadAndSecondGraph(t *testing.T) {
-	base := startServer(t, defaultLimits())
+	base := startServer(t, testConfig(defaultLimits()))
 
 	// First graph via JSON, second via the ccgen edge-list format; versions
 	// must increase and answers must switch to the new snapshot.
@@ -209,7 +272,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	lim := defaultLimits()
 	lim.maxBatch = 2
 	lim.maxNodes = 8
-	base := startServer(t, lim)
+	base := startServer(t, testConfig(lim))
 
 	postJSON(t, base+"/v1/graph?wait=1", "application/json",
 		`{"n":4,"edges":[[0,1,1],[1,2,1],[2,3,1]]}`, http.StatusOK, nil)
@@ -242,7 +305,7 @@ func TestServerRejectsBadRequests(t *testing.T) {
 }
 
 func TestServerAsyncUploadEventuallyServes(t *testing.T) {
-	base := startServer(t, defaultLimits())
+	base := startServer(t, testConfig(defaultLimits()))
 	var up struct {
 		Version uint64 `json:"version"`
 		Ready   bool   `json:"ready"`
@@ -271,5 +334,252 @@ func TestServerAsyncUploadEventuallyServes(t *testing.T) {
 			t.Fatal("snapshot never became ready")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerMultiTenantEndToEnd is the acceptance criterion: one ccserve
+// process serves two named graphs under different algorithms concurrently,
+// while the single-graph routes keep serving the default tenant untouched.
+func TestServerMultiTenantEndToEnd(t *testing.T) {
+	base := startServer(t, testConfig(defaultLimits()))
+
+	// Default tenant via the legacy route.
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,11]]}`, http.StatusOK, nil)
+
+	// Two named tenants: exact and doubled estimates over the same graph.
+	var created tenantSummary
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"exact","algorithm":"ccserve-test-exact"}`, http.StatusCreated, &created)
+	if created.Name != "exact" || created.Ready {
+		t.Fatalf("create response %+v", created)
+	}
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"double","algorithm":"ccserve-test-double","seed":7}`, http.StatusCreated, nil)
+
+	graph := `{"n":4,"edges":[[0,1,3],[1,2,1],[2,3,2]]}`
+	postJSON(t, base+"/v1/graphs/exact/graph?wait=1", "application/json", graph, http.StatusOK, nil)
+	postJSON(t, base+"/v1/graphs/double/graph?wait=1", "application/json", graph, http.StatusOK, nil)
+
+	// Concurrent queries across tenants: each answers under its own
+	// algorithm, and the default tenant is unaffected.
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	for _, tc := range []struct {
+		path string
+		want int64
+	}{
+		{"/v1/graphs/exact/dist?u=0&v=3", 6},
+		{"/v1/graphs/double/dist?u=0&v=3", 12},
+		{"/v1/dist?u=0&v=1", 11},
+	} {
+		wg.Add(1)
+		go func(path string, want int64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var dist oracle.DistResult
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("%s: status %d, err %v", path, resp.StatusCode, err)
+					return
+				}
+				if err := json.Unmarshal(raw, &dist); err != nil {
+					errc <- err
+					return
+				}
+				if dist.Distance != want {
+					errc <- fmt.Errorf("%s = %d, want %d", path, dist.Distance, want)
+					return
+				}
+			}
+		}(tc.path, tc.want)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Batch and path work per tenant too.
+	var batch oracle.BatchResult
+	postJSON(t, base+"/v1/graphs/double/batch", "application/json",
+		`{"pairs":[[0,3]]}`, http.StatusOK, &batch)
+	if batch.Answers[0].Distance != 12 {
+		t.Fatalf("tenant batch %+v", batch)
+	}
+	var path oracle.PathResult
+	getJSON(t, base+"/v1/graphs/exact/path?u=0&v=3", http.StatusOK, &path)
+	if !path.Reachable || path.Cost != 6 {
+		t.Fatalf("tenant path %+v", path)
+	}
+
+	// Listing and per-tenant stats expose all three graphs.
+	var list struct {
+		Count  int             `json:"count"`
+		Graphs []tenantSummary `json:"graphs"`
+	}
+	getJSON(t, base+"/v1/graphs", http.StatusOK, &list)
+	if list.Count != 3 || len(list.Graphs) != 3 {
+		t.Fatalf("graph list %+v", list)
+	}
+	byName := map[string]tenantSummary{}
+	for _, g := range list.Graphs {
+		byName[g.Name] = g
+	}
+	if byName["exact"].Algorithm != "ccserve-test-exact" || byName["double"].Algorithm != "ccserve-test-double" {
+		t.Fatalf("algorithms in listing: %+v", byName)
+	}
+	if !byName["default"].Pinned || byName["default"].N != 2 {
+		t.Fatalf("default in listing: %+v", byName["default"])
+	}
+
+	var ts oracle.TenantStats
+	getJSON(t, base+"/v1/graphs/double/stats", http.StatusOK, &ts)
+	if ts.Name != "double" || ts.Oracle.DistQueries == 0 || ts.Oracle.Algorithm != "ccserve-test-double" {
+		t.Fatalf("tenant stats %+v", ts)
+	}
+
+	// Deleting a tenant removes it from the listing; its routes 404.
+	doJSON(t, http.MethodDelete, base+"/v1/graphs/double", http.StatusOK, nil)
+	getJSON(t, base+"/v1/graphs/double/dist?u=0&v=1", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/graphs", http.StatusOK, &list)
+	if list.Count != 2 {
+		t.Fatalf("count after delete %d", list.Count)
+	}
+}
+
+// TestServerLRUEvictionObservable fills the manager past -maxgraphs and
+// checks the eviction shows up in /v1/stats.
+func TestServerLRUEvictionObservable(t *testing.T) {
+	cfg := testConfig(defaultLimits())
+	cfg.maxGraphs = 3 // default + two named tenants
+	base := startServer(t, cfg)
+
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"a"}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"b"}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs/a/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,1]]}`, http.StatusOK, nil)
+	postJSON(t, base+"/v1/graphs/b/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,2]]}`, http.StatusOK, nil)
+
+	// Touch a so b is the LRU victim, then create c.
+	getJSON(t, base+"/v1/graphs/a/dist?u=0&v=1", http.StatusOK, nil)
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"c"}`, http.StatusCreated, nil)
+
+	getJSON(t, base+"/v1/graphs/b", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/graphs/a", http.StatusOK, nil)
+
+	var stats struct {
+		Manager oracle.ManagerStats `json:"manager"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
+	if stats.Manager.Evictions != 1 || stats.Manager.Graphs != 3 {
+		t.Fatalf("manager stats after eviction %+v", stats.Manager)
+	}
+	names := make([]string, 0, 3)
+	for _, ts := range stats.Manager.Tenants {
+		names = append(names, ts.Name)
+	}
+	if fmt.Sprint(names) != "[a c default]" {
+		t.Fatalf("tenants after eviction %v", names)
+	}
+
+	// The pinned default tenant is never the victim even when it is LRU.
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"d"}`, http.StatusCreated, nil)
+	getJSON(t, base+"/healthz", http.StatusServiceUnavailable, nil) // default alive, no graph yet
+}
+
+// TestServerTenantRouteErrors covers the 404/405/limit surfaces of the
+// /v1/graphs tree.
+func TestServerTenantRouteErrors(t *testing.T) {
+	cfg := testConfig(defaultLimits())
+	cfg.maxGraphs = 1 // only the pinned default fits
+	base := startServer(t, cfg)
+
+	// Create validation.
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":""}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"bad/name"}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":".hidden"}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"x","algorithm":"no-such-algorithm"}`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"default"}`, http.StatusConflict, nil)
+	// Capacity: the only slot is held by the pinned default tenant.
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"x"}`, http.StatusTooManyRequests, nil)
+
+	// Unknown tenants and ops are 404; wrong methods are 405 with Allow.
+	getJSON(t, base+"/v1/graphs/ghost", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/graphs/ghost/dist?u=0&v=1", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/graphs/default/nosuchop", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/graphs/default/dist/extra", http.StatusNotFound, nil)
+	doJSON(t, http.MethodPut, base+"/v1/graphs", http.StatusMethodNotAllowed, nil)
+	doJSON(t, http.MethodPost, base+"/v1/graphs/default", http.StatusMethodNotAllowed, nil)
+	doJSON(t, http.MethodPost, base+"/v1/graphs/default/dist", http.StatusMethodNotAllowed, nil)
+	doJSON(t, http.MethodGet, base+"/v1/graphs/default/batch", http.StatusMethodNotAllowed, nil)
+	doJSON(t, http.MethodDelete, base+"/v1/graphs/ghost", http.StatusNotFound, nil)
+	// The default tenant backs the legacy routes and cannot be deleted.
+	doJSON(t, http.MethodDelete, base+"/v1/graphs/default", http.StatusBadRequest, nil)
+}
+
+// TestServerPerTenantNodeLimit checks a tenant's max_nodes tightens the
+// global -maxn for that tenant only.
+func TestServerPerTenantNodeLimit(t *testing.T) {
+	base := startServer(t, testConfig(defaultLimits()))
+
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"small","max_nodes":3}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs/small/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,1]]}`, http.StatusRequestEntityTooLarge, nil)
+	postJSON(t, base+"/v1/graphs/small/graph?wait=1", "application/json",
+		`{"n":3,"edges":[[0,1,1],[1,2,1]]}`, http.StatusOK, nil)
+	// The default tenant still accepts up to the global limit.
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,1],[1,2,1],[2,3,1]]}`, http.StatusOK, nil)
+}
+
+// TestServerNodeBudgetAdmission checks -maxtotaln admission over the
+// /v1/graphs tree: a graph that cannot fit is 429, and freeing capacity by
+// eviction keeps the server serving.
+func TestServerNodeBudgetAdmission(t *testing.T) {
+	cfg := testConfig(defaultLimits())
+	cfg.maxTotalNodes = 10
+	base := startServer(t, cfg)
+
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"a"}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs/a/graph?wait=1", "application/json",
+		`{"n":6,"edges":[[0,1,1]]}`, http.StatusOK, nil)
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"b"}`, http.StatusCreated, nil)
+	// 11 > 10: cannot fit even if a's 6 nodes were evicted, so admission
+	// rejects with 429 — and must NOT have evicted a on the way.
+	postJSON(t, base+"/v1/graphs/b/graph?wait=1", "application/json",
+		`{"n":11,"edges":[[0,1,1]]}`, http.StatusTooManyRequests, nil)
+	getJSON(t, base+"/v1/graphs/a", http.StatusOK, nil)
+	// A 4-node graph fits alongside a's 6 without eviction.
+	postJSON(t, base+"/v1/graphs/b/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,1]]}`, http.StatusOK, nil)
+
+	var stats struct {
+		Manager oracle.ManagerStats `json:"manager"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
+	if stats.Manager.TotalNodes != 10 || stats.Manager.MaxTotalNodes != 10 || stats.Manager.Evictions != 0 {
+		t.Fatalf("node budget %+v", stats.Manager)
+	}
+
+	// Growing b to 8 nodes must evict the idle LRU tenant a (frees 6 ≥ the
+	// 4 over budget) and then fit.
+	postJSON(t, base+"/v1/graphs/b/graph?wait=1", "application/json",
+		`{"n":8,"edges":[[0,1,1]]}`, http.StatusOK, nil)
+	getJSON(t, base+"/v1/graphs/a", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
+	if stats.Manager.TotalNodes != 8 || stats.Manager.Evictions != 1 {
+		t.Fatalf("after evicting admission %+v", stats.Manager)
 	}
 }

@@ -3,7 +3,6 @@ package minplus
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 )
 
@@ -146,21 +145,73 @@ func (d *Dense) Scale(f int64) {
 // KSmallestInRow returns the k smallest entries of row i in (value, column)
 // order. If the row has fewer than k finite entries, all finite entries are
 // returned. The result is newly allocated.
+//
+// Selection runs over a bounded max-heap of size ≤ k, so the call makes a
+// single allocation of min(k, n) entries and costs O(n log k) instead of
+// sorting the whole row.
 func (d *Dense) KSmallestInRow(i, k int) []Entry {
 	row := d.Row(i)
-	ents := make([]Entry, 0, len(row))
+	if k <= 0 {
+		return nil
+	}
+	if k > len(row) {
+		k = len(row)
+	}
+	// ents is a max-heap under Entry.Less: ents[0] is the worst of the k
+	// best seen so far, replaced whenever a better candidate appears.
+	ents := make([]Entry, 0, k)
 	for j, v := range row {
-		if !IsInf(v) {
-			ents = append(ents, Entry{Col: j, W: v})
+		if IsInf(v) {
+			continue
+		}
+		e := Entry{Col: j, W: v}
+		if len(ents) < k {
+			ents = append(ents, e)
+			siftUp(ents, len(ents)-1)
+		} else if e.Less(ents[0]) {
+			ents[0] = e
+			siftDown(ents, 0)
 		}
 	}
-	sort.Slice(ents, func(a, b int) bool { return ents[a].Less(ents[b]) })
-	if len(ents) > k {
-		ents = ents[:k]
+	// ents is a max-heap; in-place heapsort leaves it ascending without
+	// sort.Slice's closure/interface allocations.
+	for end := len(ents) - 1; end > 0; end-- {
+		ents[0], ents[end] = ents[end], ents[0]
+		siftDown(ents[:end], 0)
 	}
-	out := make([]Entry, len(ents))
-	copy(out, ents)
-	return out
+	return ents
+}
+
+// siftUp restores the max-heap property (parents not Less than children)
+// after appending ents[i].
+func siftUp(ents []Entry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ents[p].Less(ents[i]) {
+			return
+		}
+		ents[p], ents[i] = ents[i], ents[p]
+		i = p
+	}
+}
+
+// siftDown restores the max-heap property after replacing ents[i].
+func siftDown(ents []Entry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(ents) && ents[big].Less(ents[l]) {
+			big = l
+		}
+		if r < len(ents) && ents[big].Less(ents[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		ents[i], ents[big] = ents[big], ents[i]
+		i = big
+	}
 }
 
 // Mul returns the distance product d ⋆ o over the tropical semiring:

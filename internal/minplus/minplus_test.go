@@ -2,6 +2,7 @@ package minplus
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -177,6 +178,65 @@ func TestKSmallestInRow(t *testing.T) {
 	// Row with fewer finite entries than k.
 	if got := d.KSmallestInRow(1, 3); len(got) != 0 {
 		t.Fatalf("empty row returned %v", got)
+	}
+	// Degenerate k.
+	if got := d.KSmallestInRow(0, 0); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// TestKSmallestInRowMatchesFullSort pins the heap-selection rewrite against
+// the straightforward sort-everything reference on random rows, including
+// the (value, column) tie order.
+func TestKSmallestInRowMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		d := randomDense(n, rng)
+		i := rng.Intn(n)
+		// Inject duplicate values so the Col tiebreak is exercised.
+		for j := 0; j < n; j += 3 {
+			d.Set(i, j, int64(rng.Intn(3)))
+		}
+		row := d.Row(i)
+		var ref []Entry
+		for j, v := range row {
+			if !IsInf(v) {
+				ref = append(ref, Entry{Col: j, W: v})
+			}
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a].Less(ref[b]) })
+		for _, k := range []int{1, 2, n / 2, n - 1, n, n + 5} {
+			if k < 1 {
+				continue
+			}
+			want := ref
+			if len(want) > k {
+				want = want[:k]
+			}
+			got := d.KSmallestInRow(i, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d entries, want %d", trial, k, len(got), len(want))
+			}
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("trial %d k=%d entry %d: got %v, want %v", trial, k, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestKSmallestInRowSingleAllocation pins the perf contract: one allocation
+// of min(k, n) entries per call, regardless of row width.
+func TestKSmallestInRowSingleAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := randomDense(256, rng)
+	allocs := testing.AllocsPerRun(20, func() {
+		d.KSmallestInRow(3, 8)
+	})
+	if allocs > 1 {
+		t.Fatalf("KSmallestInRow made %.0f allocations, want ≤ 1", allocs)
 	}
 }
 

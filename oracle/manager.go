@@ -1,0 +1,474 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+)
+
+var (
+	// ErrTenantExists is returned by Create when the name is taken.
+	ErrTenantExists = errors.New("oracle: tenant already exists")
+	// ErrTenantNotFound is returned when no tenant has the requested name,
+	// including tenants that have been deleted or evicted.
+	ErrTenantNotFound = errors.New("oracle: tenant not found")
+	// ErrOverCapacity is returned when admission would exceed MaxGraphs or
+	// MaxTotalNodes and no idle tenant can be evicted to make room.
+	ErrOverCapacity = errors.New("oracle: over capacity")
+)
+
+// ManagerConfig configures a Manager. The zero value hosts an unbounded
+// number of tenants over a shared private engine.
+type ManagerConfig struct {
+	// MaxGraphs caps the number of hosted tenants (0 = unlimited). Creating
+	// one more evicts the least-recently-used idle, unpinned tenant.
+	MaxGraphs int
+	// MaxTotalNodes bounds the summed node counts of all registered graphs
+	// (0 = unlimited) — the serving state is Θ(n²) per tenant, so node
+	// admission is the memory knob. Registering a graph that would exceed
+	// the budget evicts idle, unpinned tenants in LRU order until it fits.
+	MaxTotalNodes int
+	// Base is the Config template every tenant starts from; TenantConfig
+	// overrides are applied on top. A nil Base.Engine is replaced by one
+	// engine shared across all tenants (the Engine is concurrency-safe, so
+	// tenants never need one each).
+	Base Config
+	// OnEvict, when non-nil, observes every eviction by tenant name. Called
+	// after the tenant has been removed from the table, concurrently with
+	// its drain.
+	OnEvict func(name string)
+	// OnRebuild, when non-nil, observes every tenant's completed build
+	// attempts, tagged with the tenant name. Per-tenant Config.OnRebuild
+	// hooks still fire.
+	OnRebuild func(name string, version uint64, elapsed time.Duration, err error)
+}
+
+// TenantConfig is one tenant's overrides over ManagerConfig.Base — the
+// per-tenant algorithm/accuracy/seed choice is the point of multi-tenancy:
+// workloads that want fewer rounds pick a coarser factor, workloads that
+// want tighter distances pay for them.
+type TenantConfig struct {
+	// Algorithm overrides Base.Algorithm when non-empty.
+	Algorithm cliqueapsp.Algorithm
+	// Eps overrides the accuracy slack when > 0 (appended as WithEps).
+	Eps float64
+	// Seed pins the rebuild seed when != 0 (appended as WithSeed).
+	Seed int64
+	// RunOptions are appended after Base.RunOptions and the Eps/Seed
+	// overrides, so they win ties.
+	RunOptions []cliqueapsp.RunOption
+	// BuildTimeout overrides Base.BuildTimeout when > 0.
+	BuildTimeout time.Duration
+	// Pinned exempts the tenant from eviction (it still counts against the
+	// budgets). The serving default tenant of a daemon is the typical pin.
+	Pinned bool
+}
+
+// Manager hosts many named, independently versioned Oracles behind one
+// admission policy. All methods are safe for concurrent use. Queries run on
+// Tenant handles resolved with Get; a handle that loses its tenant to
+// Delete or eviction keeps answering from the last published snapshot (the
+// underlying Oracle is closed, not freed), so readers never observe a
+// half-torn-down oracle.
+type Manager struct {
+	cfg  ManagerConfig
+	eng  *cliqueapsp.Engine
+	tick atomic.Uint64 // logical LRU clock
+
+	mu         sync.Mutex
+	tenants    map[string]*Tenant
+	totalNodes int
+	created    uint64
+	deleted    uint64
+	evictions  uint64
+	closed     bool
+}
+
+// Tenant is one named oracle inside a Manager. Query methods mirror
+// Oracle's and additionally refresh the tenant's LRU recency.
+type Tenant struct {
+	name    string
+	m       *Manager
+	o       *Oracle
+	cfg     TenantConfig
+	created time.Time
+
+	lastUsed atomic.Uint64 // manager clock tick of the last touch
+	nodes    atomic.Int64  // admitted node budget of the registered graph
+	evicted  atomic.Bool   // removed by eviction (vs. Delete/Close)
+	setMu    sync.Mutex    // serializes admission + SetGraph per tenant
+}
+
+// NewManager returns an empty Manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	eng := cfg.Base.Engine
+	if eng == nil {
+		eng = cliqueapsp.New()
+	}
+	return &Manager{cfg: cfg, eng: eng, tenants: make(map[string]*Tenant)}
+}
+
+// Create adds a tenant under name. When MaxGraphs is reached the
+// least-recently-used idle, unpinned tenant is evicted to make room;
+// ErrOverCapacity is returned if none is evictable.
+func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("oracle: empty tenant name")
+	}
+	cfg := m.cfg.Base
+	cfg.Engine = m.eng
+	if tc.Algorithm != "" {
+		cfg.Algorithm = tc.Algorithm
+	}
+	opts := append([]cliqueapsp.RunOption(nil), cfg.RunOptions...)
+	if tc.Eps > 0 {
+		opts = append(opts, cliqueapsp.WithEps(tc.Eps))
+	}
+	if tc.Seed != 0 {
+		opts = append(opts, cliqueapsp.WithSeed(tc.Seed))
+	}
+	cfg.RunOptions = append(opts, tc.RunOptions...)
+	if tc.BuildTimeout > 0 {
+		cfg.BuildTimeout = tc.BuildTimeout
+	}
+	if hook := m.cfg.OnRebuild; hook != nil {
+		inner := cfg.OnRebuild
+		cfg.OnRebuild = func(version uint64, elapsed time.Duration, err error) {
+			if inner != nil {
+				inner(version, elapsed, err)
+			}
+			hook(name, version, elapsed, err)
+		}
+	}
+
+	t := &Tenant{name: name, m: m, cfg: tc, created: time.Now()}
+	t.lastUsed.Store(m.tick.Add(1))
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := m.tenants[name]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, name)
+	}
+	var victims []*Tenant
+	if m.cfg.MaxGraphs > 0 && len(m.tenants) >= m.cfg.MaxGraphs {
+		victims = m.evictLocked(len(m.tenants)-m.cfg.MaxGraphs+1, 0, nil)
+		if len(m.tenants) >= m.cfg.MaxGraphs {
+			m.mu.Unlock()
+			m.drain(victims)
+			return nil, fmt.Errorf("%w: %d graphs served, no idle tenant to evict", ErrOverCapacity, m.cfg.MaxGraphs)
+		}
+	}
+	t.o = New(cfg)
+	m.tenants[name] = t
+	m.created++
+	m.mu.Unlock()
+
+	m.drain(victims)
+	return t, nil
+}
+
+// Get resolves a tenant by name and refreshes its LRU recency.
+func (m *Manager) Get(name string) (*Tenant, error) {
+	t, err := m.Peek(name)
+	if err != nil {
+		return nil, err
+	}
+	t.touch()
+	return t, nil
+}
+
+// Peek resolves a tenant by name WITHOUT refreshing its LRU recency. Use it
+// for monitoring lookups (stats, listings): a dashboard scraping every
+// tenant must not overwrite the recency ordering that query traffic
+// establishes, or eviction would pick victims by poll phase instead of by
+// actual idleness.
+func (m *Manager) Peek(name string) (*Tenant, error) {
+	m.mu.Lock()
+	t, ok := m.tenants[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, name)
+	}
+	return t, nil
+}
+
+// Names returns the hosted tenant names in sorted order.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Delete removes a tenant and drains its build loop. Outstanding Tenant
+// handles keep answering queries from the last published snapshot.
+func (m *Manager) Delete(name string) error {
+	m.mu.Lock()
+	t, ok := m.tenants[name]
+	if ok {
+		m.removeLocked(t)
+		m.deleted++
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTenantNotFound, name)
+	}
+	t.o.Close()
+	return nil
+}
+
+// removeLocked detaches t from the table and returns its node budget.
+func (m *Manager) removeLocked(t *Tenant) {
+	delete(m.tenants, t.name)
+	m.totalNodes -= int(t.nodes.Load())
+}
+
+// evictLocked removes the LRU victims needed to free count tenant slots and
+// freeNodes of node budget, skipping pinned tenants, tenants with a rebuild
+// in flight (not idle), and keep. The plan is computed first: if the goal is
+// unattainable nothing is evicted (a doomed admission must not destroy
+// tenants on its way to ErrOverCapacity). It returns the victims for the
+// caller to drain outside the lock.
+func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
+	candidates := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		if t == keep || t.cfg.Pinned {
+			continue
+		}
+		if t.o != nil && t.o.Stats().Pending {
+			continue // a building tenant is not idle
+		}
+		candidates = append(candidates, t)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].lastUsed.Load() < candidates[j].lastUsed.Load()
+	})
+	var victims []*Tenant
+	freed := 0
+	for _, t := range candidates {
+		if len(victims) >= count && freed >= freeNodes {
+			break
+		}
+		victims = append(victims, t)
+		freed += int(t.nodes.Load())
+	}
+	if len(victims) < count || freed < freeNodes {
+		return nil
+	}
+	for _, t := range victims {
+		m.removeLocked(t)
+		m.evictions++
+		t.evicted.Store(true)
+	}
+	return victims
+}
+
+// drain closes evicted tenants' oracles outside the manager lock and fires
+// the eviction hook. Closing waits for the victim's build loop, so by the
+// time the admission call that triggered the eviction returns, the evicted
+// capacity is genuinely released.
+func (m *Manager) drain(victims []*Tenant) {
+	for _, t := range victims {
+		t.o.Close()
+		if m.cfg.OnEvict != nil {
+			m.cfg.OnEvict(t.name)
+		}
+	}
+}
+
+// setGraph admits g against the node budget (evicting idle tenants if
+// needed) and registers it with t's oracle.
+func (m *Manager) setGraph(t *Tenant, g *cliqueapsp.Graph) (uint64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("oracle: nil graph")
+	}
+	// Serialize per tenant so concurrent SetGraph calls can't interleave
+	// their budget deltas (the oracle itself coalesces rapid updates).
+	t.setMu.Lock()
+	defer t.setMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if m.tenants[t.name] != t {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrTenantNotFound, t.name)
+	}
+	prev := int(t.nodes.Load())
+	delta := g.N() - prev
+	var victims []*Tenant
+	if m.cfg.MaxTotalNodes > 0 && m.totalNodes+delta > m.cfg.MaxTotalNodes {
+		victims = m.evictLocked(0, m.totalNodes+delta-m.cfg.MaxTotalNodes, t)
+		if m.totalNodes+delta > m.cfg.MaxTotalNodes {
+			inUse := m.totalNodes - prev
+			m.mu.Unlock()
+			m.drain(victims)
+			return 0, fmt.Errorf("%w: %d nodes requested over a budget of %d (%d in use)",
+				ErrOverCapacity, g.N(), m.cfg.MaxTotalNodes, inUse)
+		}
+	}
+	m.totalNodes += delta
+	t.nodes.Store(int64(g.N()))
+	m.mu.Unlock()
+	m.drain(victims)
+
+	v, err := t.o.SetGraph(g)
+	if err != nil {
+		// Roll back the admission: the oracle rejected the graph (closed).
+		m.mu.Lock()
+		if m.tenants[t.name] == t {
+			m.totalNodes += prev - g.N()
+			t.nodes.Store(int64(prev))
+		}
+		m.mu.Unlock()
+		return 0, err
+	}
+	return v, nil
+}
+
+// ManagerStats aggregates the manager's admission counters with every
+// tenant's own Stats.
+type ManagerStats struct {
+	// Graphs and TotalNodes describe current occupancy; MaxGraphs and
+	// MaxTotalNodes echo the configured budgets (0 = unlimited).
+	Graphs        int `json:"graphs"`
+	MaxGraphs     int `json:"max_graphs"`
+	TotalNodes    int `json:"total_nodes"`
+	MaxTotalNodes int `json:"max_total_nodes"`
+	// Created, Deleted and Evictions count tenant lifecycle events since
+	// the manager was built.
+	Created   uint64 `json:"created"`
+	Deleted   uint64 `json:"deleted"`
+	Evictions uint64 `json:"evictions"`
+	// Tenants holds one entry per hosted tenant, sorted by name.
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// TenantStats is one tenant's Stats tagged with its identity.
+type TenantStats struct {
+	Name   string        `json:"name"`
+	Pinned bool          `json:"pinned"`
+	Nodes  int           `json:"nodes"`
+	Age    time.Duration `json:"age_ns"`
+	Oracle Stats         `json:"oracle"`
+}
+
+// Stats returns a point-in-time view of the manager and all tenants.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	st := ManagerStats{
+		Graphs:        len(m.tenants),
+		MaxGraphs:     m.cfg.MaxGraphs,
+		TotalNodes:    m.totalNodes,
+		MaxTotalNodes: m.cfg.MaxTotalNodes,
+		Created:       m.created,
+		Deleted:       m.deleted,
+		Evictions:     m.evictions,
+	}
+	tenants := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		tenants = append(tenants, t)
+	}
+	m.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	st.Tenants = make([]TenantStats, len(tenants))
+	for i, t := range tenants {
+		st.Tenants[i] = t.Stats()
+	}
+	return st
+}
+
+// Close drains every tenant's build loop and rejects further Create,
+// Get-by-new-name admission and SetGraph calls. Idempotent. Like
+// Oracle.Close, existing snapshots keep answering queries on outstanding
+// handles.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	tenants := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		tenants = append(tenants, t)
+	}
+	m.tenants = make(map[string]*Tenant)
+	m.totalNodes = 0
+	m.mu.Unlock()
+	for _, t := range tenants {
+		t.o.Close()
+	}
+}
+
+func (t *Tenant) touch() { t.lastUsed.Store(t.m.tick.Add(1)) }
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Pinned reports whether the tenant is exempt from eviction.
+func (t *Tenant) Pinned() bool { return t.cfg.Pinned }
+
+// Evicted reports whether the tenant was removed by LRU eviction (its
+// last snapshot still answers queries on this handle).
+func (t *Tenant) Evicted() bool { return t.evicted.Load() }
+
+// SetGraph registers g for this tenant through the manager's admission
+// policy (see Oracle.SetGraph for build semantics).
+func (t *Tenant) SetGraph(g *cliqueapsp.Graph) (uint64, error) {
+	t.touch()
+	return t.m.setGraph(t, g)
+}
+
+// Wait blocks until the tenant serves version ≥ version (see Oracle.Wait).
+func (t *Tenant) Wait(ctx context.Context, version uint64) error { return t.o.Wait(ctx, version) }
+
+// Ready reports whether the tenant has a serving snapshot.
+func (t *Tenant) Ready() bool { return t.o.Ready() }
+
+// Version returns the tenant's serving snapshot version.
+func (t *Tenant) Version() uint64 { return t.o.Version() }
+
+// Dist answers one distance query (see Oracle.Dist).
+func (t *Tenant) Dist(u, v int) (DistResult, error) {
+	t.touch()
+	return t.o.Dist(u, v)
+}
+
+// Batch answers many pairs from one snapshot (see Oracle.Batch).
+func (t *Tenant) Batch(pairs []Pair) (BatchResult, error) {
+	t.touch()
+	return t.o.Batch(pairs)
+}
+
+// Path answers one greedy-routing query (see Oracle.Path).
+func (t *Tenant) Path(u, v int) (PathResult, error) {
+	t.touch()
+	return t.o.Path(u, v)
+}
+
+// Stats returns the tenant's oracle counters tagged with its identity.
+func (t *Tenant) Stats() TenantStats {
+	return TenantStats{
+		Name:   t.name,
+		Pinned: t.cfg.Pinned,
+		Nodes:  int(t.nodes.Load()),
+		Age:    time.Since(t.created),
+		Oracle: t.o.Stats(),
+	}
+}

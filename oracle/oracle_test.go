@@ -524,6 +524,49 @@ func TestOracleStats(t *testing.T) {
 	}
 }
 
+// TestOracleWaitRacingClose pins the lifecycle edge: Wait calls in flight
+// while Close runs concurrently must all return promptly — with nil (the
+// build won the race), ErrClosed, or the aborted build's error — and never
+// deadlock. Run under -race.
+func TestOracleWaitRacingClose(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		o := oracle.New(oracle.Config{Algorithm: "test-slow"})
+		v, err := o.SetGraph(pathGraph(t, 8, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const waiters = 4
+		results := make(chan error, waiters)
+		var wg sync.WaitGroup
+		for w := 0; w < waiters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				defer cancel()
+				results <- o.Wait(ctx, v)
+			}()
+		}
+		if i%2 == 0 {
+			time.Sleep(time.Duration(i) * time.Millisecond / 2)
+		}
+		o.Close()
+		wg.Wait()
+		close(results)
+		for err := range results {
+			switch {
+			case err == nil:
+			case errors.Is(err, oracle.ErrClosed):
+			case errors.Is(err, context.Canceled):
+				// The in-flight build was aborted by Close; Wait surfaces
+				// that build's error.
+			default:
+				t.Fatalf("iteration %d: Wait returned %v", i, err)
+			}
+		}
+	}
+}
+
 // TestOracleOnRebuildHook checks the observability hook fires per build
 // attempt with the built version.
 func TestOracleOnRebuildHook(t *testing.T) {

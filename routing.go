@@ -56,10 +56,18 @@ func nextHopInto(row []int, arcs []wArc, distances *DistanceMatrix, u int) {
 		best, bestCost := -1, int64(0)
 		for _, a := range arcs {
 			d := distances.At(a.to, v)
-			if d >= Inf {
+			// Saturating addition, mirroring minplus.SatAdd: a candidate whose
+			// cost lands at or above Inf is just as unreachable as one with an
+			// infinite estimate and must not be selected as a next hop. With
+			// both operands below Inf the sum stays below MaxInt64/2, so the
+			// plain addition cannot overflow.
+			if d >= Inf || a.w >= Inf {
 				continue
 			}
 			cost := a.w + d
+			if cost >= Inf {
+				continue
+			}
 			if best == -1 || cost < bestCost || (cost == bestCost && a.to < best) {
 				best, bestCost = a.to, cost
 			}
@@ -143,8 +151,15 @@ type ForwardingStats struct {
 	// routing loops or dead ends (possible when tables come from
 	// approximate distances).
 	Delivered, Failed int
+	// InfiniteStretch counts delivered pairs whose exact distance is zero
+	// (zero-weight shortest paths) but whose realized cost is positive: the
+	// ratio is unbounded, so these pairs are reported here instead of being
+	// folded into the stretch aggregates.
+	InfiniteStretch int
 	// WorstStretch and MeanStretch compare realized path length to the true
-	// shortest path, over delivered pairs.
+	// shortest path, over delivered pairs of finite stretch (a delivered
+	// pair with d=0 and cost=0 contributes stretch 1; d=0 with cost>0 is
+	// counted by InfiniteStretch and excluded).
 	WorstStretch, MeanStretch float64
 }
 
@@ -179,6 +194,12 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 			stretch := 1.0
 			if d := exact.At(u, v); d > 0 {
 				stretch = float64(cost) / float64(d)
+			} else if cost > 0 {
+				// A zero-weight shortest path realized at positive cost has
+				// unbounded stretch; folding it in as 1.0 would silently
+				// under-report WorstStretch on zero-weight workloads.
+				stats.InfiniteStretch++
+				continue
 			}
 			sum += stretch
 			if stretch > stats.WorstStretch {
@@ -186,8 +207,8 @@ func SimulateForwarding(g *Graph, table [][]int) (ForwardingStats, error) {
 			}
 		}
 	}
-	if stats.Delivered > 0 {
-		stats.MeanStretch = sum / float64(stats.Delivered)
+	if finite := stats.Delivered - stats.InfiniteStretch; finite > 0 {
+		stats.MeanStretch = sum / float64(finite)
 	}
 	return stats, nil
 }

@@ -195,6 +195,128 @@ func TestNextHopTablesValidation(t *testing.T) {
 	}
 }
 
+// TestNextHopRowSaturatingCost pins the Inf-saturation fix: a neighbor whose
+// estimate is finite but whose w + d lands at or above Inf must not be
+// selected as a "reachable" next hop — the pair is as unreachable as one
+// with an infinite estimate.
+func TestNextHopRowSaturatingCost(t *testing.T) {
+	// 0 -w- 1 -near Inf- 2 in estimate space: d(1,2) is finite but huge, so
+	// routing 0→2 through 1 costs ≥ Inf.
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 10)
+	mustAdd(t, g, 1, 2, 1)
+	dist, err := DistancesFromSlices([][]int64{
+		{0, 10, Inf - 5},
+		{10, 0, Inf - 5},
+		{Inf - 5, Inf - 5, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := NextHopRow(g, dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2] != -1 {
+		t.Fatalf("next hop 0→2 = %d over a cost ≥ Inf, want -1 (unreachable)", row[2])
+	}
+	if row[1] != 1 {
+		t.Fatalf("finite-cost next hop 0→1 = %d, want 1", row[1])
+	}
+
+	// Same saturation check for the full tables, and forwarding over them
+	// must skip the saturated pair instead of looping on a -1 hop.
+	table, err := NextHopTables(g, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table[0][2] != -1 {
+		t.Fatalf("table hop 0→2 = %d, want -1", table[0][2])
+	}
+}
+
+// TestNextHopRowNearInfStaysSelectable guards the other side of the
+// saturation boundary: a candidate whose cost is large but strictly below
+// Inf is still a valid next hop.
+func TestNextHopRowNearInfStaysSelectable(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 5)
+	mustAdd(t, g, 1, 2, 1)
+	dist, err := DistancesFromSlices([][]int64{
+		{0, 5, Inf - 6},
+		{5, 0, Inf - 20},
+		{Inf - 6, Inf - 20, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := NextHopRow(g, dist, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost through 1 is 5 + (Inf-20) = Inf-15 < Inf: reachable.
+	if row[2] != 1 {
+		t.Fatalf("next hop 0→2 = %d, want 1 (cost just below Inf)", row[2])
+	}
+}
+
+// TestSimulateForwardingZeroWeightStretch pins the stretch-accounting fix:
+// a zero-weight shortest path realized at positive cost must land in the
+// InfiniteStretch bucket, not be reported as stretch 1.0.
+func TestSimulateForwardingZeroWeightStretch(t *testing.T) {
+	// d(0,2) = 0 via the two zero-weight edges, but the estimate makes node 0
+	// prefer the direct weight-7 edge, so the realized cost is positive.
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 0)
+	mustAdd(t, g, 1, 2, 0)
+	mustAdd(t, g, 0, 2, 7)
+	table, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the misrouted hop: 0→2 goes over the heavy direct edge.
+	table[0][2] = 2
+	table[2][0] = 0
+	stats, err := SimulateForwarding(g, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0→2 and 2→0 cross the heavy edge directly; 1→2 tie-breaks through
+	// node 0 (smaller index) and then crosses it as well.
+	if stats.InfiniteStretch != 3 {
+		t.Fatalf("InfiniteStretch = %d, want 3 (cost-7 routes over d=0)", stats.InfiniteStretch)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("failures %d on a connected graph", stats.Failed)
+	}
+	// The remaining zero-weight pairs route at cost 0 and keep stretch 1.
+	if stats.WorstStretch > 1.0+1e-9 {
+		t.Fatalf("WorstStretch %.3f, want 1.0 over the finite-stretch pairs", stats.WorstStretch)
+	}
+	if stats.MeanStretch > 1.0+1e-9 || stats.MeanStretch == 0 {
+		t.Fatalf("MeanStretch %.3f, want 1.0", stats.MeanStretch)
+	}
+
+	// With exact tables every delivered zero-weight pair routes at cost 0:
+	// no infinite-stretch pairs. (Zero-weight ties can still make greedy
+	// forwarding loop on some pairs — those count as Failed, not as
+	// understated stretch.)
+	clean, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = SimulateForwarding(g, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InfiniteStretch != 0 {
+		t.Fatalf("exact tables reported %d infinite-stretch pairs", stats.InfiniteStretch)
+	}
+	if stats.Delivered+stats.Failed != 6 || stats.WorstStretch > 1.0+1e-9 {
+		t.Fatalf("exact-table stats %+v", stats)
+	}
+}
+
 func mustAdd(t *testing.T, g *Graph, u, v int, w int64) {
 	t.Helper()
 	if err := g.AddEdge(u, v, w); err != nil {
