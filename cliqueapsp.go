@@ -38,6 +38,12 @@ import (
 // Inf marks an unreachable pair in distance matrices.
 const Inf = minplus.Inf
 
+// EngineVersion stamps results produced by this build of the engine. It is
+// recorded as provenance in persisted oracle snapshots (package store) so a
+// restored estimate can always be traced to the engine revision that
+// computed it; bump it when a change alters per-seed outputs.
+const EngineVersion = "cliqueapsp/4"
+
 // Graph is a weighted undirected input graph under construction. Nodes are
 // 0..n-1; edge weights are nonnegative integers (zero-weight edges are
 // handled via the paper's Theorem 2.1 reduction).

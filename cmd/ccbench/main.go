@@ -12,15 +12,19 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/experiments"
 	"github.com/congestedclique/cliqueapsp/internal/registry"
+	"github.com/congestedclique/cliqueapsp/store"
 )
 
 func main() {
@@ -77,6 +81,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		sb, err := benchStore(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		report.Store = sb
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -94,6 +103,67 @@ func main() {
 			fmt.Println(experiments.Render(table))
 		}
 	}
+}
+
+// storeBenchN is the snapshot size the -json report benchmarks: large
+// enough (an 8 MiB distance matrix) that throughput reflects the streaming
+// row codec rather than fixed overheads, small enough to keep CI fast.
+const storeBenchN = 1024
+
+// benchStore times the snapshot codec on one synthetic n=1024 snapshot so
+// persistence cost lands in the perf trajectory alongside the algorithms.
+// The distance entries are deterministic filler: the codec's cost is pure
+// streaming and does not depend on the values.
+func benchStore(seed int64) (*experiments.StoreBench, error) {
+	g := cliqueapsp.RandomGraph(storeBenchN, 100, seed)
+	dist, err := cliqueapsp.DistancesFromRows(storeBenchN, func(u int, dst []int64) error {
+		for v := range dst {
+			dst[v] = int64((u*31+v*7)%1000 + 1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap := &store.Snapshot{
+		Version:     1,
+		Algorithm:   "bench",
+		FactorBound: 1,
+		Eps:         0.1,
+		Seed:        seed,
+		Engine:      cliqueapsp.EngineVersion,
+		Graph:       g,
+		Distances:   dist,
+	}
+
+	buf := bytes.NewBuffer(make([]byte, 0, 8*storeBenchN*storeBenchN+64*1024))
+	start := time.Now()
+	if err := store.Encode(buf, snap); err != nil {
+		return nil, err
+	}
+	encodeNS := time.Since(start).Nanoseconds()
+
+	size := int64(buf.Len())
+	start = time.Now()
+	if _, err := store.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+		return nil, err
+	}
+	decodeNS := time.Since(start).Nanoseconds()
+
+	mbps := func(ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return float64(size) / 1e6 / (float64(ns) / 1e9)
+	}
+	return &experiments.StoreBench{
+		N:          storeBenchN,
+		Bytes:      size,
+		EncodeNS:   encodeNS,
+		DecodeNS:   decodeNS,
+		EncodeMBps: mbps(encodeNS),
+		DecodeMBps: mbps(decodeNS),
+	}, nil
 }
 
 func fatal(err error) {

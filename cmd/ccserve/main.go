@@ -36,6 +36,13 @@
 // (summed nodes across graphs); when full, the least-recently-used idle
 // tenant is evicted — observable in /v1/stats under manager.evictions.
 //
+// With -datadir the fleet is durable: every published snapshot is persisted
+// (atomic rename, checksummed, newest K versions kept), the whole fleet is
+// restored at startup before any rebuild runs, and an evicted tenant is
+// rehydrated from disk on its next access instead of lost. Restore and
+// rehydration activity is visible in /v1/stats under manager.restored,
+// manager.cold_hits, manager.persists and friends.
+//
 // Example:
 //
 //	ccserve -addr 127.0.0.1:8080 -alg constant -eps 0.1
@@ -61,6 +68,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/oracle"
+	"github.com/congestedclique/cliqueapsp/store"
 )
 
 func main() {
@@ -72,6 +80,8 @@ func main() {
 		det          = flag.Bool("det", false, "deterministic rebuilds (greedy hitting sets)")
 		seed         = flag.Int64("seed", 0, "pin the rebuild seed (0 = engine-derived per rebuild)")
 		graphFile    = flag.String("graph", "", "preload the default tenant's graph (ccgen format) before serving")
+		dataDir      = flag.String("datadir", "", "persist published snapshots here and restore the fleet on start (empty = no persistence)")
+		keepVers     = flag.Int("keepversions", 2, "snapshot versions kept per tenant in -datadir before GC")
 		maxN         = flag.Int("maxn", 4096, "largest accepted graph (nodes)")
 		maxBatch     = flag.Int("maxbatch", 100000, "most pairs per batch query")
 		maxBody      = flag.Int64("maxbody", 32<<20, "request body limit in bytes")
@@ -84,19 +94,29 @@ func main() {
 	logger := log.New(os.Stderr, "ccserve: ", log.LstdFlags)
 
 	runOpts := []cliqueapsp.RunOption{
-		cliqueapsp.WithEps(*eps),
 		cliqueapsp.WithT(*t),
 		cliqueapsp.WithDeterministicRun(*det),
 	}
 	if *seed != 0 {
 		runOpts = append(runOpts, cliqueapsp.WithSeed(*seed))
 	}
+	var snapshots *store.Dir
+	if *dataDir != "" {
+		var err error
+		snapshots, err = store.Open(*dataDir, store.KeepVersions(*keepVers))
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+
 	handler, err := newServer(serverConfig{
 		lim:           limits{maxNodes: *maxN, maxBatch: *maxBatch, maxBody: *maxBody},
 		maxGraphs:     *maxGraphs,
 		maxTotalNodes: *maxTotalN,
+		snapshots:     snapshots,
 		base: oracle.Config{
 			Algorithm:    cliqueapsp.Algorithm(*alg),
+			Eps:          *eps,
 			RunOptions:   runOpts,
 			BuildTimeout: *buildTimeout,
 		},
@@ -134,8 +154,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d)",
-			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN)
+		persist := "off"
+		if *dataDir != "" {
+			persist = *dataDir
+		}
+		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s)",
+			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist)
 		errc <- srv.ListenAndServe()
 	}()
 

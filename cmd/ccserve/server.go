@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +14,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/oracle"
+	"github.com/congestedclique/cliqueapsp/store"
 )
 
 // defaultTenant is the pinned tenant behind the single-graph /v1/* routes;
@@ -36,15 +37,15 @@ func defaultLimits() limits {
 // tenant inherits.
 type serverConfig struct {
 	lim           limits
-	maxGraphs     int // most hosted graphs (0 = unlimited)
-	maxTotalNodes int // summed node budget across graphs (0 = unlimited)
+	maxGraphs     int        // most hosted graphs (0 = unlimited)
+	maxTotalNodes int        // summed node budget across graphs (0 = unlimited)
+	snapshots     *store.Dir // nil = no persistence (-datadir unset)
 	base          oracle.Config
 	logf          func(format string, args ...any)
 }
 
-// tenantName constrains what names the HTTP API accepts, so tenant names
-// embed safely in paths and logs.
-var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+// Tenant names are validated with store.ValidTenantName, so the HTTP API,
+// log lines, and the on-disk snapshot layout all accept the same alphabet.
 
 // server is the HTTP surface over an oracle.Manager. It carries
 // expvar-style request counters surfaced by /v1/stats alongside the
@@ -52,6 +53,7 @@ var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 type server struct {
 	mgr   *oracle.Manager
 	def   *oracle.Tenant // the pinned default tenant
+	snaps *store.Dir     // nil without -datadir
 	lim   limits
 	mux   *http.ServeMux
 	start time.Time
@@ -71,20 +73,31 @@ func newServer(cfg serverConfig) (*server, error) {
 		logf = func(string, ...any) {}
 	}
 	s := &server{
+		snaps: cfg.snapshots,
 		lim:   cfg.lim,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		logf:  logf,
 		tlim:  make(map[string]int),
 	}
-	s.mgr = oracle.NewManager(oracle.ManagerConfig{
+	mcfg := oracle.ManagerConfig{
 		MaxGraphs:     cfg.maxGraphs,
 		MaxTotalNodes: cfg.maxTotalNodes,
 		Base:          cfg.base,
 		OnEvict: func(name string) {
-			s.tmu.Lock()
-			delete(s.tlim, name)
-			s.tmu.Unlock()
+			// An evicted tenant with a persisted snapshot is expected back
+			// via rehydration and must return with its max-node cap intact;
+			// one with nothing on disk is gone for good, so its override
+			// must not leak. (Per-tenant caps are process-local state: they
+			// reset on a daemon restart either way.)
+			// On a failed probe keep the cap: retaining a stale entry is
+			// harmless, silently uncapping a tenant that does rehydrate is
+			// not.
+			if onDisk, err := s.snapshotOnDisk(name); err == nil && !onDisk {
+				s.tmu.Lock()
+				delete(s.tlim, name)
+				s.tmu.Unlock()
+			}
 			logf("tenant %q evicted (LRU)", name)
 		},
 		OnRebuild: func(name string, version uint64, elapsed time.Duration, err error) {
@@ -94,13 +107,42 @@ func newServer(cfg serverConfig) (*server, error) {
 			}
 			logf("tenant %q rebuild v%d done in %s", name, version, elapsed)
 		},
-	})
-	def, err := s.mgr.Create(defaultTenant, oracle.TenantConfig{Pinned: true})
+	}
+	if cfg.snapshots != nil {
+		mcfg.Store = cfg.snapshots
+		mcfg.OnPersist = func(name string, version uint64, err error) {
+			if err != nil {
+				logf("tenant %q persist v%d failed: %v", name, version, err)
+			}
+		}
+	}
+	s.mgr = oracle.NewManager(mcfg)
+	// AdoptPersisted: the default tenant is re-created on every boot, and its
+	// previous incarnation's snapshot is exactly what RestoreAll should bring
+	// back — a replacing create would erase it.
+	def, err := s.mgr.Create(defaultTenant, oracle.TenantConfig{Pinned: true, AdoptPersisted: true})
 	if err != nil {
 		s.mgr.Close()
 		return nil, fmt.Errorf("creating the default tenant: %w", err)
 	}
 	s.def = def
+
+	// Restore the persisted fleet before taking traffic: every tenant that
+	// comes back from disk serves immediately, at zero rebuilds.
+	if cfg.snapshots != nil {
+		restored, failed, err := s.mgr.RestoreAll(func(tenant string, err error) {
+			if err != nil {
+				logf("tenant %q not restored: %v", tenant, err)
+				return
+			}
+			logf("tenant %q restored from %s", tenant, cfg.snapshots.Root())
+		})
+		if err != nil {
+			s.mgr.Close()
+			return nil, fmt.Errorf("restoring snapshots: %w", err)
+		}
+		logf("snapshot restore: %d tenants up, %d skipped", restored, failed)
+	}
 
 	// Single-graph routes: the pre-manager API, served by the default tenant.
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
@@ -351,11 +393,26 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 			return nil, false
 		}
 		g := cliqueapsp.NewGraph(req.N)
+		// Validate strictly and report the offending edge index: the library
+		// tolerates parallel edges (Normalize merges them), but accepting an
+		// ambiguous weight for the same pair in a serving upload is almost
+		// always a client bug — reject it as one, not as a build failure.
+		seen := make(map[[2]int]int, len(req.Edges))
 		for i, e := range req.Edges {
 			if err := g.AddEdge(e.U, e.V, e.W); err != nil {
 				s.fail(w, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
 				return nil, false
 			}
+			k := [2]int{e.U, e.V}
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if j, dup := seen[k]; dup {
+				s.fail(w, http.StatusBadRequest,
+					fmt.Errorf("edge %d: duplicate of edge %d ({%d,%d})", i, j, k[0], k[1]))
+				return nil, false
+			}
+			seen[k] = i
 		}
 		return g, true
 	}
@@ -369,7 +426,28 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 			fmt.Errorf("graph of %d nodes exceeds the limit of %d", g.N(), maxNodes))
 		return nil, false
 	}
+	// Same strictness as the JSON branch: an ambiguous repeated pair is a
+	// client bug (the parser has no edge indices, so report the pair).
+	if u, v, dup := duplicateEdge(g); dup {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("graph body (edge-list): duplicate edge {%d,%d}", u, v))
+		return nil, false
+	}
 	return g, true
+}
+
+// duplicateEdge reports the first node pair that appears more than once in
+// g's edge list.
+func duplicateEdge(g *cliqueapsp.Graph) (int, int, bool) {
+	seen := make(map[[2]int]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		k := [2]int{e.U, e.V}
+		if seen[k] {
+			return e.U, e.V, true
+		}
+		seen[k] = true
+	}
+	return 0, 0, false
 }
 
 // POST …/graph registers a new graph for a tenant and schedules a rebuild.
@@ -475,11 +553,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ---- multi-tenant routes ----
 
-// tenantSummary is one row of the /v1/graphs listing.
+// tenantSummary is one row of the /v1/graphs listing. Evicted marks a
+// tenant that is not currently hosted but has persisted snapshots — the
+// next query on it rehydrates it from disk.
 type tenantSummary struct {
 	Name      string `json:"name"`
 	Pinned    bool   `json:"pinned"`
 	Ready     bool   `json:"ready"`
+	Evicted   bool   `json:"evicted,omitempty"`
 	Version   uint64 `json:"version"`
 	Algorithm string `json:"algorithm"`
 	N         int    `json:"n"`
@@ -507,10 +588,41 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		out := struct {
 			Count  int             `json:"count"`
 			Graphs []tenantSummary `json:"graphs"`
-		}{Count: st.Graphs, Graphs: make([]tenantSummary, len(st.Tenants))}
+		}{Graphs: make([]tenantSummary, len(st.Tenants))}
+		hosted := make(map[string]bool, len(st.Tenants))
 		for i, ts := range st.Tenants {
 			out.Graphs[i] = summarize(ts)
+			hosted[ts.Name] = true
 		}
+		// Evicted-but-persisted tenants still exist (the next query on one
+		// rehydrates it) and must show up here, consistent with the
+		// single-name summary route — a listing that omits them steers
+		// clients into destructive re-creates.
+		if s.snaps != nil {
+			// Probe failures are 500s, matching the single-name route: a
+			// listing that silently omits a persisted tenant on a transient
+			// read error invites the same destructive re-create.
+			names, err := s.snaps.Tenants()
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, fmt.Errorf("listing persisted tenants: %w", err))
+				return
+			}
+			for _, name := range names {
+				if hosted[name] {
+					continue
+				}
+				onDisk, perr := s.snapshotOnDisk(name)
+				if perr != nil {
+					s.fail(w, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
+					return
+				}
+				if onDisk {
+					out.Graphs = append(out.Graphs, tenantSummary{Name: name, Evicted: true})
+				}
+			}
+			sort.Slice(out.Graphs, func(i, j int) bool { return out.Graphs[i].Name < out.Graphs[j].Name })
+		}
+		out.Count = len(out.Graphs)
 		s.writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		s.createTenant(w, r)
@@ -535,7 +647,7 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("create body: %w", err))
 		return
 	}
-	if !tenantName.MatchString(req.Name) {
+	if !store.ValidTenantName(req.Name) {
 		s.fail(w, http.StatusBadRequest,
 			fmt.Errorf("tenant name %q: want 1-64 of [a-zA-Z0-9._-], starting alphanumeric", req.Name))
 		return
@@ -554,14 +666,21 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		Seed:      req.Seed,
 	})
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		// fail() maps the client-caused sentinels (exists → 409, over
+		// capacity → 429, closed → 503); what remains — e.g. a failed wipe
+		// of a previous incarnation's files — is a server-side fault.
+		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Always overwrite: a previous incarnation of the name (evicted with
+	// snapshots on disk) may have left a stale cap behind.
+	s.tmu.Lock()
 	if req.MaxNodes > 0 {
-		s.tmu.Lock()
 		s.tlim[req.Name] = req.MaxNodes
-		s.tmu.Unlock()
+	} else {
+		delete(s.tlim, req.Name)
 	}
+	s.tmu.Unlock()
 	s.logf("tenant %q created (algorithm=%q)", req.Name, req.Algorithm)
 	s.writeJSON(w, http.StatusCreated, summarize(t.Stats()))
 }
@@ -575,11 +694,27 @@ func algorithmRegistered(name string) bool {
 	return false
 }
 
+// snapshotOnDisk reports whether name has persisted snapshots to
+// rehydrate from. The error is the probe's own failure — callers must not
+// treat "could not tell" as "absent": that is the difference between
+// reporting a tenant evicted and steering a client into a destructive
+// re-create.
+func (s *server) snapshotOnDisk(name string) (bool, error) {
+	if s.snaps == nil {
+		return false, nil
+	}
+	vs, err := s.snaps.Versions(name)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) > 0, nil
+}
+
 // handleTenant routes /v1/graphs/{name} and /v1/graphs/{name}/{op}.
 func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/graphs/")
 	name, op, hasOp := strings.Cut(rest, "/")
-	if !tenantName.MatchString(name) || (hasOp && strings.Contains(op, "/")) {
+	if !store.ValidTenantName(name) || (hasOp && strings.Contains(op, "/")) {
 		s.writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no route %s", r.URL.Path)})
 		return
 	}
@@ -592,7 +727,20 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			// actual query traffic.
 			t, err := s.mgr.Peek(name)
 			if err != nil {
-				s.fail(w, http.StatusNotFound, err)
+				onDisk, perr := s.snapshotOnDisk(name)
+				if perr != nil {
+					// Could not tell: a 404 here could steer the client into
+					// a re-create that replaces a persisted incarnation.
+					s.fail(w, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
+					return
+				}
+				if onDisk {
+					// Evicted but persisted: the tenant still exists (the
+					// next query rehydrates it).
+					s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true})
+					return
+				}
+				s.fail(w, http.StatusInternalServerError, err)
 				return
 			}
 			s.writeJSON(w, http.StatusOK, summarize(t.Stats()))
@@ -631,7 +779,20 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := resolve(name)
 	if err != nil {
-		s.fail(w, http.StatusNotFound, err)
+		if op == "stats" {
+			// Keep the monitoring surface consistent with the summary
+			// route: an evicted-but-persisted tenant exists (Peek just
+			// cannot see it), and a 404 here would steer clients into a
+			// destructive re-create.
+			if onDisk, perr := s.snapshotOnDisk(name); perr == nil && onDisk {
+				s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true})
+				return
+			}
+		}
+		// fail() maps a genuinely absent tenant to 404; anything else — a
+		// corrupt snapshot or I/O failure during rehydration — is a server
+		// fault the client must not mistake for "no such tenant".
+		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	serve(w, r, t)
@@ -649,13 +810,24 @@ func (s *server) deleteTenant(w http.ResponseWriter, name string) {
 			fmt.Errorf("the %q tenant backs the single-graph /v1 routes and cannot be deleted", defaultTenant))
 		return
 	}
-	if err := s.mgr.Delete(name); err != nil {
-		s.fail(w, http.StatusNotFound, err)
+	err := s.mgr.Delete(name)
+	// The override goes away when the tenant is gone — including the
+	// already-gone 404 case, which is the only path left to the entry of an
+	// evicted-without-snapshot tenant. It must survive a failed store erase
+	// though: the files remain, so the tenant can still rehydrate and must
+	// come back with its cap.
+	if err == nil || errors.Is(err, oracle.ErrTenantNotFound) {
+		s.tmu.Lock()
+		delete(s.tlim, name)
+		s.tmu.Unlock()
+	}
+	if err != nil {
+		// fail() maps ErrTenantNotFound to 404; anything else here means the
+		// tenant's persisted snapshots could not be erased — that is a
+		// server-side failure the client must see as one, not as "gone".
+		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.tmu.Lock()
-	delete(s.tlim, name)
-	s.tmu.Unlock()
 	s.logf("tenant %q deleted", name)
 	s.writeJSON(w, http.StatusOK, struct {
 		Deleted string `json:"deleted"`

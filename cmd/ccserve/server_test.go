@@ -15,6 +15,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/oracle"
+	"github.com/congestedclique/cliqueapsp/store"
 )
 
 func init() {
@@ -581,5 +582,140 @@ func TestServerNodeBudgetAdmission(t *testing.T) {
 	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
 	if stats.Manager.TotalNodes != 8 || stats.Manager.Evictions != 1 {
 		t.Fatalf("after evicting admission %+v", stats.Manager)
+	}
+}
+
+// TestServerRejectsDuplicateAndBadEdges pins the strict upload validation:
+// duplicate and out-of-range edge endpoints are client errors (400) that
+// name the offending edge index, never 5xx.
+func TestServerRejectsDuplicateAndBadEdges(t *testing.T) {
+	base := startServer(t, testConfig(defaultLimits()))
+	var errBody struct {
+		Error string `json:"error"`
+	}
+
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":4,"edges":[[0,1,3],[1,2,1],[1,0,9]]}`, http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "edge 2") || !strings.Contains(errBody.Error, "duplicate of edge 0") {
+		t.Fatalf("duplicate-edge error %q, want the offending and original indices", errBody.Error)
+	}
+
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":4,"edges":[[0,1,3],[1,7,1]]}`, http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "edge 1") || !strings.Contains(errBody.Error, "out of range") {
+		t.Fatalf("out-of-range error %q, want the offending index", errBody.Error)
+	}
+
+	// The multi-tenant upload route shares the validation.
+	postJSON(t, base+"/v1/graphs", "application/json", `{"name":"dup"}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs/dup/graph", "application/json",
+		`{"n":3,"edges":[{"u":0,"v":1},{"u":1,"v":0,"w":5}]}`, http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "edge 1") || !strings.Contains(errBody.Error, "duplicate of edge 0") {
+		t.Fatalf("tenant duplicate-edge error %q", errBody.Error)
+	}
+
+	// The plain edge-list branch is just as strict (pair, not index: the
+	// parser reports line numbers, not edge indices).
+	postJSON(t, base+"/v1/graph", "text/plain",
+		"p 3 2\ne 0 1 3\ne 1 0 9\n", http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "duplicate edge {0,1}") {
+		t.Fatalf("edge-list duplicate error %q", errBody.Error)
+	}
+}
+
+// TestServerPersistenceAcrossRestart is the daemon-level restart property:
+// a second server over the same -datadir serves both tenants from restored
+// snapshots — correct answers, preserved versions, zero rebuilds.
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	open := func() (string, func()) {
+		snapshots, err := store.Open(dataDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(defaultLimits())
+		cfg.snapshots = snapshots
+		cfg.logf = t.Logf
+		handler, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: handler}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(ln)
+		}()
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+			<-done
+			handler.Close()
+		}
+		return "http://" + ln.Addr().String(), stop
+	}
+
+	base, stop := open()
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,3],[1,2,1],[2,3,2]]}`, http.StatusOK, nil)
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"beta","algorithm":"ccserve-test-double"}`, http.StatusCreated, nil)
+	postJSON(t, base+"/v1/graphs/beta/graph?wait=1", "application/json",
+		`{"n":3,"edges":[[0,1,2],[1,2,2]]}`, http.StatusOK, nil)
+	stop()
+
+	base, stop = open()
+	defer stop()
+
+	// Restored fleet serves immediately: health is green before any upload.
+	var health struct {
+		Ready bool `json:"ready"`
+	}
+	getJSON(t, base+"/healthz", http.StatusOK, &health)
+	if !health.Ready {
+		t.Fatal("default tenant not ready after restore")
+	}
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/dist?u=0&v=3", http.StatusOK, &dist)
+	if dist.Distance != 6 || dist.Version != 1 {
+		t.Fatalf("restored default Dist = %+v, want 6 @ v1", dist)
+	}
+	getJSON(t, base+"/v1/graphs/beta/dist?u=0&v=2", http.StatusOK, &dist)
+	if dist.Distance != 8 { // test-double persisted doubled distances
+		t.Fatalf("restored beta Dist = %+v, want 8", dist)
+	}
+
+	var st struct {
+		Manager oracle.ManagerStats `json:"manager"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &st)
+	if st.Manager.Restored != 2 || st.Manager.RestoreErrors != 0 {
+		t.Fatalf("restore counters %+v, want 2 restored", st.Manager)
+	}
+	for _, ts := range st.Manager.Tenants {
+		if ts.Oracle.Rebuilds != 0 || ts.Oracle.Restores != 1 {
+			t.Fatalf("tenant %q ran the engine after restart: %+v", ts.Name, ts.Oracle)
+		}
+	}
+
+	// Uploads on the restored fleet keep working and supersede the restore.
+	var up struct {
+		Version uint64 `json:"version"`
+	}
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":4,"edges":[[0,1,1],[1,2,1],[2,3,1]]}`, http.StatusOK, &up)
+	if up.Version <= 1 {
+		t.Fatalf("post-restore upload version %d, want > 1", up.Version)
+	}
+	getJSON(t, base+"/v1/dist?u=0&v=3", http.StatusOK, &dist)
+	if dist.Distance != 3 {
+		t.Fatalf("post-restore rebuild Dist = %+v, want 3", dist)
 	}
 }

@@ -23,6 +23,19 @@ type JSONExperiment struct {
 	ElapsedNS  int64      `json:"elapsed_ns"`
 }
 
+// StoreBench reports the snapshot codec's encode/decode throughput for one
+// synthetic snapshot, so the cost of the persistence layer shows up in the
+// same perf trajectory as the algorithms it serves. Filled by ccbench -json
+// (the cmd drives the store package; this package only carries the shape).
+type StoreBench struct {
+	N          int     `json:"n"`
+	Bytes      int64   `json:"bytes"`
+	EncodeNS   int64   `json:"encode_ns"`
+	DecodeNS   int64   `json:"decode_ns"`
+	EncodeMBps float64 `json:"encode_mb_per_s"`
+	DecodeMBps float64 `json:"decode_mb_per_s"`
+}
+
 // JSONReport is the top-level document: the suite configuration and every
 // experiment that ran.
 type JSONReport struct {
@@ -32,6 +45,7 @@ type JSONReport struct {
 	Quick       bool             `json:"quick"`
 	Sizes       []int            `json:"sizes"`
 	Experiments []JSONExperiment `json:"experiments"`
+	Store       *StoreBench      `json:"store,omitempty"`
 }
 
 // RunJSON executes the selected experiments and assembles the report,

@@ -1,0 +1,36 @@
+package minplus
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Row-level binary codec helpers. A distance row serializes as its entries
+// in little-endian int64, 8 bytes per entry — the layout the store snapshot
+// codec streams one row at a time, so an n×n matrix is never materialized
+// twice during encode or decode.
+
+// RowByteLen returns the encoded size of a row of n entries.
+func RowByteLen(n int) int { return 8 * n }
+
+// AppendRowBytes appends the little-endian encoding of row to buf and
+// returns the extended slice. Passing buf[:0] of a slice with capacity
+// RowByteLen(len(row)) makes the call allocation-free.
+func AppendRowBytes(buf []byte, row []int64) []byte {
+	for _, v := range row {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeRowBytes fills dst with the little-endian int64 entries of data.
+// data must hold exactly RowByteLen(len(dst)) bytes.
+func DecodeRowBytes(dst []int64, data []byte) error {
+	if len(data) != RowByteLen(len(dst)) {
+		return fmt.Errorf("minplus: row of %d bytes, want %d", len(data), RowByteLen(len(dst)))
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowBytesRoundTrip(t *testing.T) {
+	row := []int64{0, 1, -1, Inf, math.MaxInt64, math.MinInt64, 42}
+	buf := AppendRowBytes(nil, row)
+	if len(buf) != RowByteLen(len(row)) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), RowByteLen(len(row)))
+	}
+	dst := make([]int64, len(row))
+	if err := DecodeRowBytes(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if dst[i] != row[i] {
+			t.Fatalf("entry %d: %d, want %d", i, dst[i], row[i])
+		}
+	}
+}
+
+func TestDecodeRowBytesLengthMismatch(t *testing.T) {
+	dst := make([]int64, 3)
+	if err := DecodeRowBytes(dst, make([]byte, 23)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := DecodeRowBytes(dst, make([]byte, 32)); err == nil {
+		t.Fatal("long buffer accepted")
+	}
+}
+
+func TestAppendRowBytesNoAllocWithCapacity(t *testing.T) {
+	row := make([]int64, 64)
+	buf := make([]byte, 0, RowByteLen(len(row)))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendRowBytes(buf[:0], row)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRowBytes allocated %.1f times per run, want 0", allocs)
+	}
+}

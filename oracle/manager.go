@@ -10,6 +10,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/store"
 )
 
 var (
@@ -47,6 +48,30 @@ type ManagerConfig struct {
 	// attempts, tagged with the tenant name. Per-tenant Config.OnRebuild
 	// hooks still fire.
 	OnRebuild func(name string, version uint64, elapsed time.Duration, err error)
+	// Store, when non-nil, makes the fleet durable: every snapshot a tenant
+	// publishes is saved under the tenant's name, Get rehydrates evicted
+	// tenants from their newest saved snapshot instead of reporting them
+	// lost, RestoreAll brings the whole persisted fleet up at boot, and
+	// Delete removes the tenant's saved snapshots along with the tenant.
+	Store SnapshotStore
+	// OnPersist, when non-nil, observes every snapshot save (called from the
+	// tenant's build goroutine with the persisted version and nil or the
+	// save error) and any failure to delete a tenant's saved snapshots
+	// (version 0).
+	OnPersist func(name string, version uint64, err error)
+}
+
+// SnapshotStore is the persistence surface a Manager drives; *store.Dir is
+// the canonical implementation. Save and Load move whole snapshots for one
+// tenant, Versions is the cheap per-tenant probe (ascending persisted
+// versions; empty = nothing persisted), Tenants lists every persisted
+// tenant for RestoreAll, and Delete forgets one tenant's snapshots.
+type SnapshotStore interface {
+	Save(tenant string, s *store.Snapshot) error
+	Load(tenant string) (*store.Snapshot, error)
+	Versions(tenant string) ([]uint64, error)
+	Tenants() ([]string, error)
+	Delete(tenant string) error
 }
 
 // TenantConfig is one tenant's overrides over ManagerConfig.Base — the
@@ -56,7 +81,7 @@ type ManagerConfig struct {
 type TenantConfig struct {
 	// Algorithm overrides Base.Algorithm when non-empty.
 	Algorithm cliqueapsp.Algorithm
-	// Eps overrides the accuracy slack when > 0 (appended as WithEps).
+	// Eps overrides Base.Eps (the accuracy slack) when > 0.
 	Eps float64
 	// Seed pins the rebuild seed when != 0 (appended as WithSeed).
 	Seed int64
@@ -68,6 +93,15 @@ type TenantConfig struct {
 	// Pinned exempts the tenant from eviction (it still counts against the
 	// budgets). The serving default tenant of a daemon is the typical pin.
 	Pinned bool
+	// AdoptPersisted, on a store-backed Manager, makes Create leave any
+	// persisted snapshots under this name in place — to be served again by
+	// RestoreAll or rehydration — and reserves versions above them so new
+	// builds still supersede the files. The daemon's recreated-every-boot
+	// default tenant wants this. When false (the default), creating a
+	// tenant REPLACES any previous persisted incarnation: its snapshot
+	// files are removed, so stale data can never resurrect under a name
+	// the caller just configured afresh.
+	AdoptPersisted bool
 }
 
 // Manager hosts many named, independently versioned Oracles behind one
@@ -81,6 +115,20 @@ type Manager struct {
 	eng  *cliqueapsp.Engine
 	tick atomic.Uint64 // logical LRU clock
 
+	// Persistence counters live outside mu: they are bumped from tenant
+	// build goroutines (persist hooks) and from rehydrating readers.
+	persists        atomic.Uint64
+	persistErrors   atomic.Uint64
+	restored        atomic.Uint64
+	restoreErrors   atomic.Uint64
+	coldHits        atomic.Uint64
+	rehydrateErrors atomic.Uint64
+
+	// hydrating singleflights rehydrations per tenant name so concurrent
+	// cold hits do one disk load and every caller returns a serving tenant.
+	hydMu     sync.Mutex
+	hydrating map[string]chan struct{}
+
 	mu         sync.Mutex
 	tenants    map[string]*Tenant
 	totalNodes int
@@ -88,6 +136,13 @@ type Manager struct {
 	deleted    uint64
 	evictions  uint64
 	closed     bool
+	// evictedCfg remembers evicted tenants' full configs (RunOptions,
+	// BuildTimeout, Pinned — state a snapshot cannot carry), so a same-
+	// process rehydration brings the tenant back behaving identically.
+	// Entries are dropped when the name is re-created, rehydrated, or
+	// deleted. Cross-restart rehydrations fall back to the persisted
+	// provenance (algorithm/eps/pinned seed).
+	evictedCfg map[string]TenantConfig
 }
 
 // Tenant is one named oracle inside a Manager. Query methods mirror
@@ -111,7 +166,13 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if eng == nil {
 		eng = cliqueapsp.New()
 	}
-	return &Manager{cfg: cfg, eng: eng, tenants: make(map[string]*Tenant)}
+	return &Manager{
+		cfg:        cfg,
+		eng:        eng,
+		tenants:    make(map[string]*Tenant),
+		hydrating:  make(map[string]chan struct{}),
+		evictedCfg: make(map[string]TenantConfig),
+	}
 }
 
 // Create adds a tenant under name. When MaxGraphs is reached the
@@ -126,10 +187,10 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	if tc.Algorithm != "" {
 		cfg.Algorithm = tc.Algorithm
 	}
-	opts := append([]cliqueapsp.RunOption(nil), cfg.RunOptions...)
 	if tc.Eps > 0 {
-		opts = append(opts, cliqueapsp.WithEps(tc.Eps))
+		cfg.Eps = tc.Eps
 	}
+	opts := append([]cliqueapsp.RunOption(nil), cfg.RunOptions...)
 	if tc.Seed != 0 {
 		opts = append(opts, cliqueapsp.WithSeed(tc.Seed))
 	}
@@ -146,9 +207,64 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 			hook(name, version, elapsed, err)
 		}
 	}
+	if m.cfg.Store != nil {
+		inner := cfg.OnPublish
+		eps := cfg.Eps // the single effective value every rebuild runs with
+		seedPinned := tc.Seed != 0
+		cfg.OnPublish = func(p Published) {
+			if inner != nil {
+				inner(p)
+			}
+			m.persist(name, eps, seedPinned, p)
+		}
+	}
+
+	// Reconcile with any persisted snapshots under this name: an adopting
+	// create seeds its version counter above them, a replacing create
+	// removes them after it succeeds (stale incarnation data must not
+	// resurrect under a freshly configured tenant — but a create that FAILS
+	// must not have destroyed anything either).
+	var reserve uint64
+	wipe := false
+	if m.cfg.Store != nil {
+		if tc.AdoptPersisted {
+			vs, err := m.cfg.Store.Versions(name)
+			switch {
+			case err == nil:
+				if len(vs) > 0 {
+					reserve = vs[len(vs)-1]
+				}
+			case errors.Is(err, store.ErrInvalidName):
+				// Nothing can be persisted under an unstorable name.
+			default:
+				// "Could not tell" must not become "nothing persisted": an
+				// unreserved counter would let stale files shadow (and GC
+				// swallow) this tenant's fresh builds.
+				return nil, fmt.Errorf("oracle: probing persisted snapshots of %q: %w", name, err)
+			}
+		} else {
+			// The flight keeps rehydrations (and Deletes) out for the whole
+			// create; it is not held by the adopt path, so the restore flows
+			// — which create with AdoptPersisted while holding the flight —
+			// cannot deadlock here.
+			release := m.lockHydration(name)
+			defer release()
+			if _, err := m.Peek(name); err != nil {
+				wipe = true // hosted names keep their files: Create fails below
+			}
+		}
+	}
 
 	t := &Tenant{name: name, m: m, cfg: tc, created: time.Now()}
 	t.lastUsed.Store(m.tick.Add(1))
+	if wipe {
+		// Held until the wipe below is done (lock order: flight, setMu, mu).
+		// Once the tenant is in the table a concurrent Get could SetGraph,
+		// build, and persist; setMu parks that SetGraph until the old files
+		// are gone, so the wipe can never swallow a fresh snapshot.
+		t.setMu.Lock()
+		defer t.setMu.Unlock()
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -169,19 +285,47 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 		}
 	}
 	t.o = New(cfg)
+	if reserve > 0 {
+		// Start above the previous incarnation's persisted versions, so this
+		// tenant's publishes supersede the old files on disk instead of
+		// being shadowed by them on the next rehydration or restart (and so
+		// keep-K GC never collects a fresh snapshot in favor of stale ones).
+		t.o.reserveVersions(reserve)
+	}
 	m.tenants[name] = t
 	m.created++
+	delete(m.evictedCfg, name) // this create's config supersedes any remembered one
 	m.mu.Unlock()
 
 	m.drain(victims)
+	if wipe {
+		switch derr := m.cfg.Store.Delete(name); {
+		case derr == nil, errors.Is(derr, store.ErrInvalidName):
+			// An unstorable name has nothing on disk to replace.
+		default:
+			// Stale files we could not remove would resurrect the old
+			// incarnation later; back the create out rather than host a
+			// tenant with a haunted name.
+			m.dropTenant(t)
+			return nil, fmt.Errorf("oracle: clearing persisted snapshots of %q: %w", name, derr)
+		}
+	}
 	return t, nil
 }
 
-// Get resolves a tenant by name and refreshes its LRU recency.
+// Get resolves a tenant by name and refreshes its LRU recency. With a
+// Store configured, a name that is not hosted — typically because LRU
+// eviction reclaimed it — is rehydrated from its newest persisted snapshot
+// before being returned: the eviction cost a disk read, not the tenant.
 func (m *Manager) Get(name string) (*Tenant, error) {
 	t, err := m.Peek(name)
 	if err != nil {
-		return nil, err
+		if m.cfg.Store == nil || !errors.Is(err, ErrTenantNotFound) {
+			return nil, err
+		}
+		if t, err = m.rehydrate(name); err != nil {
+			return nil, err
+		}
 	}
 	t.touch()
 	return t, nil
@@ -215,20 +359,83 @@ func (m *Manager) Names() []string {
 }
 
 // Delete removes a tenant and drains its build loop. Outstanding Tenant
-// handles keep answering queries from the last published snapshot.
+// handles keep answering queries from the last published snapshot. With a
+// Store configured the tenant's persisted snapshots are removed too —
+// unlike eviction, Delete means gone, so the name must not resurrect on
+// the next Get: deletion holds the tenant's rehydration flight for its
+// whole duration (no concurrent Get can rehydrate meanwhile), drains the
+// build loop — whose final in-flight build may persist one last snapshot —
+// and only then erases the disk state, so nothing persisted outlives the
+// call. An evicted-but-persisted tenant — addressable through Get — is
+// deletable too, even though it is not currently hosted. A store deletion
+// failure is returned (and reported through OnPersist with version 0), so
+// the caller knows files survived and the name can still rehydrate; the
+// in-memory removal stands regardless.
 func (m *Manager) Delete(name string) error {
+	persisted := false
+	var listErr error
+	if m.cfg.Store != nil {
+		// Hold the rehydration flight for the whole deletion, so no Get can
+		// resurrect the tenant from files we are about to erase.
+		release := m.lockHydration(name)
+		defer release()
+		switch vs, err := m.cfg.Store.Versions(name); {
+		case err == nil:
+			persisted = len(vs) > 0
+		case errors.Is(err, store.ErrInvalidName):
+			// A name the store rejects can never have been persisted.
+		default:
+			listErr = err
+		}
+	}
 	m.mu.Lock()
-	t, ok := m.tenants[name]
-	if ok {
+	t, hosted := m.tenants[name]
+	if hosted {
 		m.removeLocked(t)
 		m.deleted++
 	}
 	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrTenantNotFound, name)
+	if hosted {
+		// Drain before erasing: an in-flight build may persist one last
+		// snapshot on its way out, and those files must not outlive Delete.
+		t.o.Close()
 	}
-	t.o.Close()
-	return nil
+	var delErr error
+	if m.cfg.Store != nil && (hosted || persisted || listErr != nil) {
+		// Erasing an absent tenant is a no-op, so when the listing failed we
+		// erase blindly rather than risk leaving resurrectable files behind.
+		switch err := m.cfg.Store.Delete(name); {
+		case err == nil, errors.Is(err, store.ErrInvalidName):
+			// An unstorable name has nothing on disk to erase.
+		default:
+			delErr = err
+			if m.cfg.OnPersist != nil {
+				m.cfg.OnPersist(name, 0, err)
+			}
+		}
+	}
+	if hosted || delErr == nil {
+		// The remembered eviction config dies with the tenant — but only
+		// once the erase actually went through: a name whose files survived
+		// a failed erase can still rehydrate and must keep its config.
+		m.mu.Lock()
+		delete(m.evictedCfg, name)
+		m.mu.Unlock()
+	}
+	if !hosted {
+		if listErr != nil && delErr == nil {
+			// The blind erase went through, but we never learned whether the
+			// tenant existed; surface the listing failure rather than claim
+			// a deletion we cannot vouch for.
+			return listErr
+		}
+		if listErr == nil && !persisted {
+			return fmt.Errorf("%w: %q", ErrTenantNotFound, name)
+		}
+	}
+	// A failed erase is surfaced even for hosted tenants: the caller must
+	// know files survived and the name can still rehydrate.
+	return delErr
 }
 
 // removeLocked detaches t from the table and returns its node budget.
@@ -273,6 +480,12 @@ func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
 		m.removeLocked(t)
 		m.evictions++
 		t.evicted.Store(true)
+		if m.cfg.Store != nil {
+			// Rehydration may bring the name back; it must come back with
+			// the exact config it was created with, not just what the
+			// snapshot happens to record.
+			m.evictedCfg[t.name] = t.cfg
+		}
 	}
 	return victims
 }
@@ -280,10 +493,23 @@ func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
 // drain closes evicted tenants' oracles outside the manager lock and fires
 // the eviction hook. Closing waits for the victim's build loop, so by the
 // time the admission call that triggered the eviction returns, the evicted
-// capacity is genuinely released.
+// capacity is genuinely released. (Victims are selected idle — no build in
+// flight — atomically with their removal, so no late persist can land
+// during or after the drain.)
 func (m *Manager) drain(victims []*Tenant) {
 	for _, t := range victims {
 		t.o.Close()
+		if m.cfg.Store != nil {
+			// A victim with nothing on disk can never rehydrate, so there
+			// is no incarnation config worth remembering — without this
+			// cleanup, churn through never-published tenants would grow
+			// evictedCfg without bound.
+			if vs, err := m.cfg.Store.Versions(t.name); err == nil && len(vs) == 0 {
+				m.mu.Lock()
+				delete(m.evictedCfg, t.name)
+				m.mu.Unlock()
+			}
+		}
 		if m.cfg.OnEvict != nil {
 			m.cfg.OnEvict(t.name)
 		}
@@ -300,6 +526,23 @@ func (m *Manager) setGraph(t *Tenant, g *cliqueapsp.Graph) (uint64, error) {
 	// their budget deltas (the oracle itself coalesces rapid updates).
 	t.setMu.Lock()
 	defer t.setMu.Unlock()
+	prev, err := m.admitNodes(t, g.N())
+	if err != nil {
+		return 0, err
+	}
+	v, err := t.o.SetGraph(g)
+	if err != nil {
+		// Roll back the admission: the oracle rejected the graph (closed).
+		m.rollbackNodes(t, prev)
+		return 0, err
+	}
+	return v, nil
+}
+
+// admitNodes charges t's node budget for an n-node graph, evicting idle
+// tenants if the total budget requires it, and returns t's previous budget
+// for rollback. The caller must hold t.setMu.
+func (m *Manager) admitNodes(t *Tenant, n int) (prev int, err error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -309,8 +552,8 @@ func (m *Manager) setGraph(t *Tenant, g *cliqueapsp.Graph) (uint64, error) {
 		m.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrTenantNotFound, t.name)
 	}
-	prev := int(t.nodes.Load())
-	delta := g.N() - prev
+	prev = int(t.nodes.Load())
+	delta := n - prev
 	var victims []*Tenant
 	if m.cfg.MaxTotalNodes > 0 && m.totalNodes+delta > m.cfg.MaxTotalNodes {
 		victims = m.evictLocked(0, m.totalNodes+delta-m.cfg.MaxTotalNodes, t)
@@ -319,26 +562,264 @@ func (m *Manager) setGraph(t *Tenant, g *cliqueapsp.Graph) (uint64, error) {
 			m.mu.Unlock()
 			m.drain(victims)
 			return 0, fmt.Errorf("%w: %d nodes requested over a budget of %d (%d in use)",
-				ErrOverCapacity, g.N(), m.cfg.MaxTotalNodes, inUse)
+				ErrOverCapacity, n, m.cfg.MaxTotalNodes, inUse)
 		}
 	}
 	m.totalNodes += delta
-	t.nodes.Store(int64(g.N()))
+	t.nodes.Store(int64(n))
 	m.mu.Unlock()
 	m.drain(victims)
+	return prev, nil
+}
 
-	v, err := t.o.SetGraph(g)
-	if err != nil {
-		// Roll back the admission: the oracle rejected the graph (closed).
-		m.mu.Lock()
-		if m.tenants[t.name] == t {
-			m.totalNodes += prev - g.N()
-			t.nodes.Store(int64(prev))
-		}
-		m.mu.Unlock()
-		return 0, err
+// rollbackNodes restores t's node budget to prev after a failed admission.
+func (m *Manager) rollbackNodes(t *Tenant, prev int) {
+	m.mu.Lock()
+	if m.tenants[t.name] == t {
+		m.totalNodes += prev - int(t.nodes.Load())
+		t.nodes.Store(int64(prev))
 	}
-	return v, nil
+	m.mu.Unlock()
+}
+
+// persist saves one published snapshot under the tenant's name. It runs on
+// the tenant's build goroutine: blocking the build loop on the write is
+// deliberate — a rebuild is orders of magnitude more expensive than
+// streaming its output to disk, and it guarantees publish order matches
+// persist order per tenant.
+func (m *Manager) persist(name string, eps float64, seedPinned bool, p Published) {
+	err := m.cfg.Store.Save(name, &store.Snapshot{
+		Version:     p.Version,
+		Algorithm:   string(p.Result.Algorithm),
+		FactorBound: p.Result.FactorBound,
+		Eps:         eps,
+		Seed:        p.Result.Seed,
+		SeedPinned:  seedPinned,
+		Engine:      cliqueapsp.EngineVersion,
+		Graph:       p.Graph,
+		Distances:   p.Result.Distances,
+	})
+	if err != nil {
+		m.persistErrors.Add(1)
+	} else {
+		m.persists.Add(1)
+	}
+	if m.cfg.OnPersist != nil {
+		m.cfg.OnPersist(name, p.Version, err)
+	}
+}
+
+// resultFromSnapshot rebuilds the Result a persisted snapshot was published
+// from. Communication accounting (rounds/messages/words) is not persisted:
+// it describes the simulated run, not the estimate being served.
+func resultFromSnapshot(s *store.Snapshot) *cliqueapsp.Result {
+	return &cliqueapsp.Result{
+		Distances:   s.Distances,
+		FactorBound: s.FactorBound,
+		Algorithm:   cliqueapsp.Algorithm(s.Algorithm),
+		Seed:        s.Seed,
+	}
+}
+
+// lockHydration claims name's rehydration flight, waiting out any flight
+// already in progress, and returns the release function. Rehydrations and
+// Delete both take the flight, so a rehydration can never race a deletion
+// into resurrecting the tenant, and concurrent cold hits do one disk load.
+func (m *Manager) lockHydration(name string) func() {
+	for {
+		m.hydMu.Lock()
+		ch, inflight := m.hydrating[name]
+		if !inflight {
+			ch := make(chan struct{})
+			m.hydrating[name] = ch
+			m.hydMu.Unlock()
+			return func() {
+				m.hydMu.Lock()
+				delete(m.hydrating, name)
+				m.hydMu.Unlock()
+				close(ch)
+			}
+		}
+		m.hydMu.Unlock()
+		<-ch
+	}
+}
+
+// rehydrate brings a tenant that is not hosted — typically evicted — back
+// from its newest persisted snapshot.
+func (m *Manager) rehydrate(name string) (*Tenant, error) {
+	release := m.lockHydration(name)
+	defer release()
+	// The flight we may have waited for could have hosted the tenant.
+	if t, err := m.Peek(name); err == nil {
+		return t, nil
+	}
+	return m.rehydrateOnce(name)
+}
+
+// rehydrateOnce is one rehydration attempt: re-create the tenant with the
+// persisted provenance (algorithm/eps/seed) as its config and publish the
+// snapshot without an engine run.
+func (m *Manager) rehydrateOnce(name string) (*Tenant, error) {
+	snap, err := m.cfg.Store.Load(name)
+	if err != nil {
+		// A name the store's alphabet rejects can never have been persisted:
+		// that is an absent tenant, not a broken rehydration.
+		if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInvalidName) {
+			return nil, fmt.Errorf("%w: %q", ErrTenantNotFound, name)
+		}
+		m.rehydrateErrors.Add(1)
+		return nil, fmt.Errorf("oracle: rehydrating %q: %w", name, err)
+	}
+	// Prefer the config the evicted incarnation was actually created with
+	// (it carries RunOptions/BuildTimeout/Pinned, which a snapshot cannot);
+	// fall back to the persisted provenance after a process restart.
+	m.mu.Lock()
+	tc, remembered := m.evictedCfg[name]
+	m.mu.Unlock()
+	if remembered {
+		tc.AdoptPersisted = true // never wipe the files being rehydrated
+	} else {
+		tc = tenantConfigFromSnapshot(snap)
+	}
+	t, err := m.Create(name, tc)
+	if err != nil {
+		if errors.Is(err, ErrTenantExists) {
+			// Raced an explicit Create; serve whatever won — it may still
+			// be building, in which case queries see ErrNotReady and retry.
+			return m.Peek(name)
+		}
+		m.rehydrateErrors.Add(1)
+		return nil, err
+	}
+	if err := m.restoreInto(t, snap); err != nil {
+		if errors.Is(err, ErrSuperseded) {
+			// Someone registered a graph on the tenant between Create and
+			// restore; their live intent wins over the disk state.
+			return t, nil
+		}
+		m.dropTenant(t)
+		m.rehydrateErrors.Add(1)
+		return nil, err
+	}
+	m.coldHits.Add(1)
+	return t, nil
+}
+
+// tenantConfigFromSnapshot turns persisted provenance back into the tenant
+// config future rebuilds of the restored tenant should run with.
+// AdoptPersisted is essential: the restore flows must not wipe the very
+// files they are restoring from.
+func tenantConfigFromSnapshot(s *store.Snapshot) TenantConfig {
+	tc := TenantConfig{
+		Algorithm:      cliqueapsp.Algorithm(s.Algorithm),
+		Eps:            s.Eps,
+		AdoptPersisted: true,
+	}
+	// Snapshot.Seed is always the concrete seed of the persisted run;
+	// re-pin it only if the tenant's own config had pinned it, or a tenant
+	// that wanted fresh randomness per rebuild would silently freeze.
+	if s.SeedPinned {
+		tc.Seed = s.Seed
+	}
+	return tc
+}
+
+// restoreInto admits snap's graph against the node budget and publishes the
+// snapshot on t without running the engine.
+func (m *Manager) restoreInto(t *Tenant, snap *store.Snapshot) error {
+	t.setMu.Lock()
+	defer t.setMu.Unlock()
+	prev, err := m.admitNodes(t, snap.Graph.N())
+	if err != nil {
+		return err
+	}
+	if err := t.o.RestoreSnapshot(snap.Version, snap.Graph, resultFromSnapshot(snap)); err != nil {
+		m.rollbackNodes(t, prev)
+		return err
+	}
+	return nil
+}
+
+// dropTenant backs out a tenant whose restore failed after Create: removed
+// from the table and drained, without touching the store (its persisted
+// snapshots may still be what a later, healthier restore needs).
+func (m *Manager) dropTenant(t *Tenant) {
+	m.mu.Lock()
+	if m.tenants[t.name] == t {
+		m.removeLocked(t)
+	}
+	m.mu.Unlock()
+	t.o.Close()
+}
+
+// RestoreAll restores every tenant persisted in the store, bringing the
+// whole fleet up to serving before any rebuild runs: tenants that do not
+// exist are created from their persisted provenance, existing tenants that
+// are not yet serving (the daemon's pinned default, created empty at boot)
+// have their snapshot published in place, and tenants that already serve a
+// snapshot are left alone. A tenant whose snapshot fails to load or restore
+// — corrupt file, unknown format, over-budget graph — is skipped and
+// reported; the rest of the fleet still restores. report (optional)
+// observes every attempted tenant with nil or its error; the returned
+// counts summarize the sweep, and err is non-nil only when the store
+// listing itself failed.
+func (m *Manager) RestoreAll(report func(tenant string, err error)) (restored, failed int, err error) {
+	if m.cfg.Store == nil {
+		return 0, 0, fmt.Errorf("oracle: RestoreAll without a configured Store")
+	}
+	if report == nil {
+		report = func(string, error) {}
+	}
+	names, err := m.cfg.Store.Tenants()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		// Liveness check before the O(n²) decode: a tenant that already
+		// serves does not need its snapshot read at all.
+		t, terr := m.Peek(name)
+		if terr == nil && t.Ready() {
+			continue
+		}
+		snap, lerr := m.cfg.Store.Load(name)
+		if lerr != nil {
+			if errors.Is(lerr, store.ErrNotFound) {
+				continue // an empty tenant directory is not a failure
+			}
+			m.restoreErrors.Add(1)
+			failed++
+			report(name, lerr)
+			continue
+		}
+		created := false
+		if errors.Is(terr, ErrTenantNotFound) {
+			t, terr = m.Create(name, tenantConfigFromSnapshot(snap))
+			created = terr == nil
+		}
+		if terr != nil {
+			m.restoreErrors.Add(1)
+			failed++
+			report(name, terr)
+			continue
+		}
+		if rerr := m.restoreInto(t, snap); rerr != nil {
+			if errors.Is(rerr, ErrSuperseded) {
+				continue // a live upload beat the restore; its build wins
+			}
+			if created {
+				m.dropTenant(t)
+			}
+			m.restoreErrors.Add(1)
+			failed++
+			report(name, rerr)
+			continue
+		}
+		m.restored.Add(1)
+		restored++
+		report(name, nil)
+	}
+	return restored, failed, nil
 }
 
 // ManagerStats aggregates the manager's admission counters with every
@@ -355,6 +836,21 @@ type ManagerStats struct {
 	Created   uint64 `json:"created"`
 	Deleted   uint64 `json:"deleted"`
 	Evictions uint64 `json:"evictions"`
+	// Persists and PersistErrors count snapshot saves through the configured
+	// Store (all zero without one).
+	Persists      uint64 `json:"persists"`
+	PersistErrors uint64 `json:"persist_errors"`
+	// Restored and RestoreErrors count RestoreAll outcomes: tenants brought
+	// up from disk at boot, and tenants skipped because their snapshot would
+	// not load or restore.
+	Restored      uint64 `json:"restored"`
+	RestoreErrors uint64 `json:"restore_errors"`
+	// ColdHits counts evicted (or otherwise unhosted) tenants rehydrated
+	// from disk on access — each one is an eviction that cost a disk read
+	// instead of the tenant; RehydrateErrors counts rehydrations that failed
+	// on a loadable-but-unrestorable or corrupt snapshot.
+	ColdHits        uint64 `json:"cold_hits"`
+	RehydrateErrors uint64 `json:"rehydrate_errors"`
 	// Tenants holds one entry per hosted tenant, sorted by name.
 	Tenants []TenantStats `json:"tenants"`
 }
@@ -379,6 +875,13 @@ func (m *Manager) Stats() ManagerStats {
 		Created:       m.created,
 		Deleted:       m.deleted,
 		Evictions:     m.evictions,
+
+		Persists:        m.persists.Load(),
+		PersistErrors:   m.persistErrors.Load(),
+		Restored:        m.restored.Load(),
+		RestoreErrors:   m.restoreErrors.Load(),
+		ColdHits:        m.coldHits.Load(),
+		RehydrateErrors: m.rehydrateErrors.Load(),
 	}
 	tenants := make([]*Tenant, 0, len(m.tenants))
 	for _, t := range m.tenants {

@@ -38,6 +38,11 @@ var (
 	ErrNotReady = errors.New("oracle: no snapshot yet (SetGraph and Wait first)")
 	// ErrClosed is returned once Close has been called.
 	ErrClosed = errors.New("oracle: closed")
+	// ErrSuperseded is returned by RestoreSnapshot when the oracle already
+	// has newer state — a serving snapshot, or a SetGraph accepted before
+	// the restore. Persisted versions are not comparable with a fresh
+	// process's SetGraph counter, so live intent always wins over a restore.
+	ErrSuperseded = errors.New("oracle: restore superseded by newer state")
 )
 
 // Config configures an Oracle. The zero value is usable: a private Engine
@@ -49,8 +54,14 @@ type Config struct {
 	// engine's default). Any registered algorithm works, including custom
 	// ones added with cliqueapsp.Register.
 	Algorithm cliqueapsp.Algorithm
-	// RunOptions are appended to every rebuild's Engine.Run call (e.g.
-	// cliqueapsp.WithEps, cliqueapsp.WithSeed for reproducible serving).
+	// Eps sets the accuracy slack of the scaling stages for every rebuild
+	// (0 = engine default). Prefer this over putting cliqueapsp.WithEps in
+	// RunOptions: the value here is also recorded as provenance in
+	// persisted snapshots, so the two cannot drift.
+	Eps float64
+	// RunOptions are appended to every rebuild's Engine.Run call after the
+	// Algorithm and Eps fields (so an explicit option here wins ties) —
+	// e.g. cliqueapsp.WithSeed for reproducible serving.
 	RunOptions []cliqueapsp.RunOption
 	// BuildTimeout bounds each rebuild (0 = no limit). A timed-out rebuild
 	// keeps the previous snapshot serving and records the error.
@@ -59,6 +70,25 @@ type Config struct {
 	// version built, the wall time it took, and nil or the build error. It is
 	// called from the build goroutine and must not block for long.
 	OnRebuild func(version uint64, elapsed time.Duration, err error)
+	// OnPublish, when non-nil, observes every snapshot a completed engine
+	// build is about to publish — the persistence hook: the graph and
+	// result it receives are immutable, so they can be encoded to disk
+	// freely. It is called from the build goroutine BEFORE the snapshot
+	// becomes visible to queries and waiters, so once Dist or Wait observes
+	// the version, the hook has completed — a persist that succeeded is
+	// durable by then (one that failed is the hook's own to report; the
+	// snapshot serves regardless). It is NOT called for snapshots installed by
+	// RestoreSnapshot, so a restore never re-persists the bytes it was just
+	// decoded from.
+	OnPublish func(p Published)
+}
+
+// Published describes one published snapshot to Config.OnPublish. Both
+// fields must be treated as read-only.
+type Published struct {
+	Version uint64
+	Graph   *cliqueapsp.Graph
+	Result  *cliqueapsp.Result
 }
 
 // Pair is one (source, destination) query of a Batch.
@@ -131,6 +161,9 @@ type Stats struct {
 	Rebuilds      uint64        `json:"rebuilds"`
 	RebuildErrors uint64        `json:"rebuild_errors"`
 	LastRebuild   time.Duration `json:"last_rebuild_ns"`
+	// Restores counts snapshots published by RestoreSnapshot — estimates
+	// served without paying for an engine run.
+	Restores uint64 `json:"restores"`
 	// Pending reports whether a rebuild is queued or running.
 	Pending bool `json:"pending"`
 }
@@ -142,6 +175,7 @@ type counters struct {
 	answers                                atomic.Uint64
 	rowsBuilt, rowHits                     atomic.Uint64
 	rebuilds, rebuildErrors                atomic.Uint64
+	restores                               atomic.Uint64
 }
 
 // Oracle serves distance and path queries from versioned snapshots rebuilt
@@ -157,7 +191,8 @@ type Oracle struct {
 	cnt counters
 
 	mu       sync.Mutex
-	version  uint64            // last version assigned by SetGraph
+	version  uint64            // last version assigned (SetGraph, restore, or reservation)
+	graphSet bool              // a SetGraph has been accepted (blocks restores)
 	pending  *cliqueapsp.Graph // latest graph awaiting build (nil = none)
 	pendingV uint64            // version of pending
 	building bool              // build goroutine live
@@ -205,6 +240,7 @@ func (o *Oracle) SetGraph(g *cliqueapsp.Graph) (uint64, error) {
 		return 0, ErrClosed
 	}
 	o.version++
+	o.graphSet = true
 	o.pending, o.pendingV = g, o.version
 	if !o.building {
 		o.building = true
@@ -247,7 +283,20 @@ func (o *Oracle) buildLoop() {
 		elapsed := time.Since(start)
 		if err == nil {
 			snap.buildDur = elapsed // set before publishing: snapshots are immutable once stored
-			o.cur.Store(snap)
+			// The persistence hook runs before the snapshot is stored, so no
+			// query or waiter can observe the version until it is durable.
+			// The previous snapshot keeps serving meanwhile.
+			if o.cfg.OnPublish != nil {
+				o.cfg.OnPublish(Published{Version: v, Graph: snap.g, Result: snap.res})
+			}
+			o.mu.Lock()
+			// Version-monotonic under the lock, as a belt: builds are
+			// serialized with increasing versions and restores are refused
+			// once a SetGraph was accepted, so cur can never be newer here.
+			if cur := o.cur.Load(); cur == nil || cur.version < v {
+				o.cur.Store(snap)
+			}
+			o.mu.Unlock()
 			o.cnt.rebuilds.Add(1)
 		} else {
 			o.cnt.rebuildErrors.Add(1)
@@ -273,9 +322,12 @@ func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, error) {
 		ctx, cancel = context.WithTimeout(ctx, o.cfg.BuildTimeout)
 		defer cancel()
 	}
-	opts := make([]cliqueapsp.RunOption, 0, len(o.cfg.RunOptions)+1)
+	opts := make([]cliqueapsp.RunOption, 0, len(o.cfg.RunOptions)+2)
 	if o.cfg.Algorithm != "" {
 		opts = append(opts, cliqueapsp.WithAlgorithm(o.cfg.Algorithm))
+	}
+	if o.cfg.Eps > 0 {
+		opts = append(opts, cliqueapsp.WithEps(o.cfg.Eps))
 	}
 	opts = append(opts, o.cfg.RunOptions...)
 	res, err := o.eng.Run(ctx, g, opts...)
@@ -283,6 +335,63 @@ func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, error) {
 		return nil, err
 	}
 	return newSnapshot(version, g, res, &o.cnt), nil
+}
+
+// RestoreSnapshot publishes a previously computed (typically persisted and
+// decoded) build as the serving snapshot without running the Engine: the
+// restore path of the store subsystem. The oracle takes ownership of g and
+// res — the caller must not mutate either afterwards (a decoded snapshot is
+// exactly that: freshly owned, so no defensive copy is made). The snapshot
+// serves under version, and future SetGraph calls are assigned strictly
+// larger versions so a later upload always supersedes the restore.
+//
+// Restoring is allowed only into a pristine oracle — no serving snapshot
+// and no SetGraph accepted yet — and returns ErrSuperseded otherwise. A
+// persisted version number comes from a previous process's counter and is
+// not comparable with this oracle's: if a caller managed to register a
+// graph before the restore landed, that live intent must win, never be
+// shadowed by old disk state. Waiters blocked in Wait(ctx, v) with
+// v ≤ version are released.
+func (o *Oracle) RestoreSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result) error {
+	if version == 0 {
+		return fmt.Errorf("oracle: restore version must be ≥ 1")
+	}
+	if g == nil || res == nil || res.Distances == nil {
+		return fmt.Errorf("oracle: nil graph or result")
+	}
+	if res.Distances.N() != g.N() {
+		return fmt.Errorf("oracle: %d×%d distances for %d nodes", res.Distances.N(), res.Distances.N(), g.N())
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	if o.graphSet || o.cur.Load() != nil {
+		return fmt.Errorf("%w: restore v%d refused (last assigned version %d)", ErrSuperseded, version, o.version)
+	}
+	if o.version < version {
+		o.version = version
+	}
+	o.cur.Store(newSnapshot(version, g, res, &o.cnt))
+	o.cnt.restores.Add(1)
+	close(o.notify)
+	o.notify = make(chan struct{})
+	return nil
+}
+
+// reserveVersions raises the version counter to at least v without
+// publishing anything: future SetGraph calls are assigned versions > v. The
+// Manager uses it when (re-)creating a tenant that has persisted snapshots,
+// so a new incarnation's builds always supersede the old incarnation's
+// files on disk. It does not count as a SetGraph: a restore of version ≤ v
+// is still allowed into the pristine oracle.
+func (o *Oracle) reserveVersions(v uint64) {
+	o.mu.Lock()
+	if o.version < v {
+		o.version = v
+	}
+	o.mu.Unlock()
 }
 
 // Wait blocks until a snapshot with version ≥ version is serving, the build
@@ -406,6 +515,7 @@ func (o *Oracle) Stats() Stats {
 		RowHits:       o.cnt.rowHits.Load(),
 		Rebuilds:      o.cnt.rebuilds.Load(),
 		RebuildErrors: o.cnt.rebuildErrors.Load(),
+		Restores:      o.cnt.restores.Load(),
 	}
 	if s := o.cur.Load(); s != nil {
 		st.Version = s.version

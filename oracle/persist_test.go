@@ -1,0 +1,567 @@
+package oracle_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/oracle"
+	"github.com/congestedclique/cliqueapsp/store"
+)
+
+func openStore(t *testing.T) *store.Dir {
+	t.Helper()
+	d, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// restoreResult fakes what a decoded snapshot hands RestoreSnapshot.
+func restoreResult(g *cliqueapsp.Graph) *cliqueapsp.Result {
+	return &cliqueapsp.Result{
+		Distances:   cliqueapsp.Exact(g),
+		FactorBound: 1,
+		Algorithm:   "test-exact",
+		Seed:        7,
+	}
+}
+
+func TestOracleRestoreSnapshot(t *testing.T) {
+	g := pathGraph(t, 8, 3)
+	o := oracle.New(oracle.Config{Algorithm: "test-exact"})
+	defer o.Close()
+
+	if err := o.RestoreSnapshot(5, g, restoreResult(g)); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Ready() || o.Version() != 5 {
+		t.Fatalf("restored oracle: ready=%v version=%d, want serving v5", o.Ready(), o.Version())
+	}
+	// A restore satisfies waiters without an engine run.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := o.Wait(ctx, 5); err != nil {
+		t.Fatalf("Wait on restored version: %v", err)
+	}
+	dr, err := o.Dist(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Distance != 21 || dr.Version != 5 {
+		t.Fatalf("Dist = %+v, want 21 @ v5", dr)
+	}
+	pr, err := o.Path(0, 7)
+	if err != nil || !pr.Reachable || pr.Cost != 21 {
+		t.Fatalf("Path over a restored snapshot = %+v, %v", pr, err)
+	}
+	st := o.Stats()
+	if st.Restores != 1 || st.Rebuilds != 0 {
+		t.Fatalf("stats %+v, want 1 restore and 0 rebuilds", st)
+	}
+
+	// A second restore must not shadow the serving snapshot: restores are
+	// only allowed into a pristine oracle.
+	if err := o.RestoreSnapshot(4, g, restoreResult(g)); !errors.Is(err, oracle.ErrSuperseded) {
+		t.Fatalf("stale restore: %v, want ErrSuperseded", err)
+	}
+
+	// SetGraph after a restore supersedes it: versions keep increasing.
+	v, err := o.SetGraph(pathGraph(t, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 5 {
+		t.Fatalf("post-restore SetGraph assigned v%d, want > 5", v)
+	}
+	waitReady(t, o, v)
+	if dr, err := o.Dist(0, 7); err != nil || dr.Distance != 7 {
+		t.Fatalf("after rebuild: %+v, %v", dr, err)
+	}
+}
+
+func TestOracleRestoreSnapshotValidates(t *testing.T) {
+	o := oracle.New(oracle.Config{Algorithm: "test-exact"})
+	defer o.Close()
+	g := pathGraph(t, 4, 1)
+	if err := o.RestoreSnapshot(0, g, restoreResult(g)); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	if err := o.RestoreSnapshot(1, g, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if err := o.RestoreSnapshot(1, pathGraph(t, 5, 1), restoreResult(g)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	o.Close()
+	if err := o.RestoreSnapshot(1, g, restoreResult(g)); !errors.Is(err, oracle.ErrClosed) {
+		t.Fatalf("restore after Close: %v, want ErrClosed", err)
+	}
+
+	// A restore must never shadow live intent: once SetGraph was accepted,
+	// even a pristine-looking (not yet serving) oracle refuses to restore.
+	o2 := oracle.New(oracle.Config{Algorithm: "test-slow"})
+	defer o2.Close()
+	if _, err := o2.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.RestoreSnapshot(9, g, restoreResult(g)); !errors.Is(err, oracle.ErrSuperseded) {
+		t.Fatalf("restore over an accepted SetGraph: %v, want ErrSuperseded", err)
+	}
+}
+
+// TestManagerRecreateReplacesPersistedIncarnation pins the incarnation
+// rule: a plain (non-adopting) re-Create of a name with persisted
+// snapshots replaces the old incarnation entirely — its files are removed
+// at Create, so stale data can never resurrect under the fresh config,
+// and the new incarnation's publishes are the only files on disk.
+func TestManagerRecreateReplacesPersistedIncarnation(t *testing.T) {
+	dir := openStore(t)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		MaxGraphs: 1,
+		Base:      oracle.Config{Algorithm: "test-exact"},
+		Store:     dir,
+	})
+	defer m.Close()
+
+	// First incarnation publishes v1 and v2 (both persisted; keep=2).
+	tn := mustTenant(t, m, "alpha", oracle.TenantConfig{})
+	setAndWait(t, tn, pathGraph(t, 5, 9))
+	setAndWait(t, tn, pathGraph(t, 5, 9))
+	mustTenant(t, m, "filler", oracle.TenantConfig{}) // evicts alpha; files remain
+
+	// Second incarnation: explicit re-create (evicting filler). The old
+	// files must be gone immediately — an eviction of the still-empty
+	// tenant must NOT resurrect the old incarnation's data.
+	tn2 := mustTenant(t, m, "alpha", oracle.TenantConfig{Algorithm: "test-double"})
+	if vs, err := dir.Versions("alpha"); err != nil || len(vs) != 0 {
+		t.Fatalf("old incarnation files survived re-create: %v, %v", vs, err)
+	}
+	v := setAndWait(t, tn2, pathGraph(t, 5, 1))
+	snap, err := dir.Load("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != v || snap.Algorithm != "test-double" {
+		t.Fatalf("persisted %q v%d, want the new incarnation's %q v%d", snap.Algorithm, snap.Version, "test-double", v)
+	}
+	if d := snap.Distances.At(0, 4); d != 8 { // test-double doubles the exact 4
+		t.Fatalf("persisted d(0,4) = %d, want the new graph's doubled 8", d)
+	}
+
+	// An adopting re-create keeps the files and reserves versions above
+	// them instead.
+	mustTenant(t, m, "filler2", oracle.TenantConfig{}) // evicts alpha again
+	tn3 := mustTenant(t, m, "alpha", oracle.TenantConfig{Algorithm: "test-double", AdoptPersisted: true})
+	if vs, err := dir.Versions("alpha"); err != nil || len(vs) == 0 {
+		t.Fatalf("adopting re-create lost the persisted files: %v, %v", vs, err)
+	}
+	v2 := setAndWait(t, tn3, pathGraph(t, 5, 2))
+	if v2 <= v {
+		t.Fatalf("adopting incarnation built v%d, want > the persisted v%d", v2, v)
+	}
+	if snap, err = dir.Load("alpha"); err != nil || snap.Version != v2 {
+		t.Fatalf("newest persisted version %d (%v), want v%d", snap.Version, err, v2)
+	}
+}
+
+func TestManagerDeleteEvictedPersistedTenant(t *testing.T) {
+	dir := openStore(t)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		MaxGraphs: 1,
+		Base:      oracle.Config{Algorithm: "test-exact"},
+		Store:     dir,
+	})
+	defer m.Close()
+
+	setAndWait(t, mustTenant(t, m, "alpha", oracle.TenantConfig{}), pathGraph(t, 5, 2))
+	mustTenant(t, m, "filler", oracle.TenantConfig{}) // evicts alpha; disk copy remains
+
+	// alpha is not hosted, but it is addressable (Get would rehydrate it) —
+	// so Delete must work on it and erase the disk state for good.
+	if err := m.Delete("alpha"); err != nil {
+		t.Fatalf("Delete of evicted persisted tenant: %v", err)
+	}
+	if _, err := dir.Load("alpha"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("snapshots survived Delete: %v", err)
+	}
+	if _, err := m.Get("alpha"); !errors.Is(err, oracle.ErrTenantNotFound) {
+		t.Fatalf("deleted tenant resurrected: %v", err)
+	}
+}
+
+func TestManagerPersistsOnPublish(t *testing.T) {
+	dir := openStore(t)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact", Eps: 0.25},
+		Store: dir,
+	})
+	defer m.Close()
+
+	// A tenant without its own Eps override must record the base eps the
+	// build actually inherits, not 0 — and its engine-derived seed must not
+	// be marked as pinned, or a restore would freeze its randomness.
+	setAndWait(t, mustTenant(t, m, "plain", oracle.TenantConfig{}), pathGraph(t, 4, 1))
+	if snap, err := dir.Load("plain"); err != nil || snap.Eps != 0.25 || snap.SeedPinned {
+		t.Fatalf("inherited provenance: %+v, %v (want eps 0.25, seed not pinned)", snap, err)
+	}
+
+	tn := mustTenant(t, m, "alpha", oracle.TenantConfig{Eps: 0.5, Seed: 11})
+	setAndWait(t, tn, pathGraph(t, 6, 2))
+
+	snap, err := dir.Load("alpha")
+	if err != nil {
+		t.Fatalf("published snapshot not on disk: %v", err)
+	}
+	if snap.Version != 1 || snap.Algorithm != "test-exact" || snap.Eps != 0.5 || snap.Engine != cliqueapsp.EngineVersion {
+		t.Fatalf("persisted provenance %+v", snap)
+	}
+	if !snap.SeedPinned || snap.Seed != 11 {
+		t.Fatalf("pinned-seed provenance %+v, want seed 11 pinned", snap)
+	}
+	if d := snap.Distances.At(0, 5); d != 10 {
+		t.Fatalf("persisted d(0,5) = %d, want 10", d)
+	}
+	st := m.Stats()
+	if st.Persists != 2 || st.PersistErrors != 0 {
+		t.Fatalf("persist counters %+v, want 2 persists", st)
+	}
+
+	// Delete must take the persisted snapshots with it: deleted ≠ evicted.
+	if err := m.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Load("alpha"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("snapshots survived Delete: %v", err)
+	}
+	if _, err := m.Get("alpha"); !errors.Is(err, oracle.ErrTenantNotFound) {
+		t.Fatalf("deleted tenant resurrected: %v", err)
+	}
+}
+
+func TestManagerRehydratesEvictedTenant(t *testing.T) {
+	dir := openStore(t)
+	evicted := make(chan string, 8)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		MaxGraphs: 2,
+		Base:      oracle.Config{Algorithm: "test-exact"},
+		Store:     dir,
+		OnEvict:   func(name string) { evicted <- name },
+	})
+	defer m.Close()
+
+	ga := pathGraph(t, 8, 3)
+	setAndWait(t, mustTenant(t, m, "alpha", oracle.TenantConfig{}), ga)
+	setAndWait(t, mustTenant(t, m, "beta", oracle.TenantConfig{}), pathGraph(t, 4, 1))
+
+	// Touch beta so alpha is the LRU victim, then force the eviction.
+	if _, err := m.Get("beta"); err != nil {
+		t.Fatal(err)
+	}
+	mustTenant(t, m, "gamma", oracle.TenantConfig{})
+	select {
+	case name := <-evicted:
+		if name != "alpha" {
+			t.Fatalf("evicted %q, want alpha", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no eviction")
+	}
+
+	// Next access rehydrates from disk: same answers, zero engine runs.
+	tn, err := m.Get("alpha")
+	if err != nil {
+		t.Fatalf("rehydrating Get: %v", err)
+	}
+	dr, err := tn.Dist(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cliqueapsp.Exact(ga).At(0, 7); dr.Distance != want {
+		t.Fatalf("rehydrated Dist(0,7) = %d, want %d", dr.Distance, want)
+	}
+	if dr.Version != 1 {
+		t.Fatalf("rehydrated version %d, want the persisted v1", dr.Version)
+	}
+	ts := tn.Stats()
+	if ts.Oracle.Rebuilds != 0 || ts.Oracle.Restores != 1 {
+		t.Fatalf("rehydrated tenant ran the engine: %+v", ts.Oracle)
+	}
+	st := m.Stats()
+	if st.ColdHits != 1 || st.RehydrateErrors != 0 {
+		t.Fatalf("cold-hit counters %+v", st)
+	}
+	// gamma (never built, nothing persisted) stays gone even with a store.
+	if err := m.Delete("gamma"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("gamma"); !errors.Is(err, oracle.ErrTenantNotFound) {
+		t.Fatalf("Get of never-persisted tenant: %v", err)
+	}
+}
+
+func TestManagerRehydrateConcurrentGets(t *testing.T) {
+	dir := openStore(t)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		MaxGraphs: 1,
+		Base:      oracle.Config{Algorithm: "test-exact"},
+		Store:     dir,
+	})
+	defer m.Close()
+
+	g := pathGraph(t, 6, 2)
+	setAndWait(t, mustTenant(t, m, "alpha", oracle.TenantConfig{}), g)
+	mustTenant(t, m, "filler", oracle.TenantConfig{}) // evicts alpha
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tn, err := m.Get("alpha")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if dr, err := tn.Dist(0, 5); err != nil || dr.Distance != 10 {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent rehydrating Get: %v", err)
+		}
+	}
+	if st := m.Stats(); st.ColdHits < 1 {
+		t.Fatalf("cold hits %d, want ≥ 1", st.ColdHits)
+	}
+}
+
+// TestManagerRestoreAllAfterRestart is the full process-restart property:
+// a second Manager over the same store directory serves the whole fleet
+// with correct answers and zero engine runs.
+func TestManagerRestoreAllAfterRestart(t *testing.T) {
+	dir := openStore(t)
+	ga, gb := pathGraph(t, 8, 3), pathGraph(t, 5, 4)
+
+	m1 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	setAndWait(t, mustTenant(t, m1, "alpha", oracle.TenantConfig{}), ga)
+	setAndWait(t, mustTenant(t, m1, "beta", oracle.TenantConfig{Algorithm: "test-double"}), gb)
+	m1.Close()
+
+	m2 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	defer m2.Close()
+	restored, failed, err := m2.RestoreAll(nil)
+	if err != nil || restored != 2 || failed != 0 {
+		t.Fatalf("RestoreAll = (%d, %d, %v), want (2, 0, nil)", restored, failed, err)
+	}
+
+	for name, want := range map[string]int64{
+		"alpha": cliqueapsp.Exact(ga).At(0, 7),
+		"beta":  2 * cliqueapsp.Exact(gb).At(0, 4), // test-double persisted doubled distances
+	} {
+		tn, err := m2.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		last := tn.Stats().Oracle.GraphN - 1
+		dr, err := tn.Dist(0, last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dr.Distance != want {
+			t.Fatalf("%s: restored Dist(0,%d) = %d, want %d", name, last, dr.Distance, want)
+		}
+		if ts := tn.Stats(); ts.Oracle.Rebuilds != 0 || ts.Oracle.Restores != 1 {
+			t.Fatalf("%s rebuilt after restart: %+v", name, ts.Oracle)
+		}
+	}
+	st := m2.Stats()
+	if st.Restored != 2 || st.RestoreErrors != 0 || st.TotalNodes != 13 {
+		t.Fatalf("restart stats %+v", st)
+	}
+
+	// A new upload on a restored tenant supersedes the restored version.
+	tn, err := m2.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := setAndWait(t, tn, pathGraph(t, 8, 1))
+	if v <= 1 {
+		t.Fatalf("post-restore upload got v%d, want > restored v1", v)
+	}
+	if dr, _ := tn.Dist(0, 7); dr.Distance != 7 {
+		t.Fatalf("post-restore rebuild serves %d, want 7", dr.Distance)
+	}
+}
+
+// TestManagerRestoreAllSkipsCorrupt pins the corruption-resilience
+// requirement: a tenant whose newest snapshot is damaged is skipped and
+// reported, and the rest of the fleet still comes up.
+func TestManagerRestoreAllSkipsCorrupt(t *testing.T) {
+	root := t.TempDir()
+	dir, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	setAndWait(t, mustTenant(t, m1, "good", oracle.TenantConfig{}), pathGraph(t, 6, 2))
+	setAndWait(t, mustTenant(t, m1, "bad", oracle.TenantConfig{}), pathGraph(t, 6, 2))
+	m1.Close()
+
+	// Flip one byte deep in bad's snapshot: only the checksum can tell.
+	path := filepath.Join(root, "bad", "0000000000000001.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-20] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	defer m2.Close()
+	var reported []string
+	restored, failed, err := m2.RestoreAll(func(tenant string, rerr error) {
+		if rerr != nil {
+			if !errors.Is(rerr, store.ErrCorrupt) {
+				t.Errorf("tenant %q failed with %v, want ErrCorrupt", tenant, rerr)
+			}
+			reported = append(reported, tenant)
+		}
+	})
+	if err != nil || restored != 1 || failed != 1 {
+		t.Fatalf("RestoreAll = (%d, %d, %v), want (1, 1, nil)", restored, failed, err)
+	}
+	if len(reported) != 1 || reported[0] != "bad" {
+		t.Fatalf("reported failures %v, want [bad]", reported)
+	}
+	if st := m2.Stats(); st.Restored != 1 || st.RestoreErrors != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The corrupt tenant is not hosted (and not half-created)…
+	if _, err := m2.Peek("bad"); !errors.Is(err, oracle.ErrTenantNotFound) {
+		t.Fatalf("corrupt tenant hosted: %v", err)
+	}
+	// …and the healthy one serves.
+	tn, err := m2.Get("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr, err := tn.Dist(0, 5); err != nil || dr.Distance != 10 {
+		t.Fatalf("good tenant: %+v, %v", dr, err)
+	}
+}
+
+// TestManagerRestoreAllIntoExistingTenant mirrors the daemon boot order:
+// the pinned default tenant is created empty first, then RestoreAll
+// publishes its persisted snapshot in place.
+func TestManagerRestoreAllIntoExistingTenant(t *testing.T) {
+	dir := openStore(t)
+	g := pathGraph(t, 7, 2)
+
+	m1 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	setAndWait(t, mustTenant(t, m1, "default", oracle.TenantConfig{Pinned: true}), g)
+	m1.Close()
+
+	m2 := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	defer m2.Close()
+	def := mustTenant(t, m2, "default", oracle.TenantConfig{Pinned: true, AdoptPersisted: true})
+	restored, failed, err := m2.RestoreAll(nil)
+	if err != nil || restored != 1 || failed != 0 {
+		t.Fatalf("RestoreAll = (%d, %d, %v)", restored, failed, err)
+	}
+	if !def.Ready() || !def.Pinned() {
+		t.Fatalf("default tenant after restore: ready=%v pinned=%v", def.Ready(), def.Pinned())
+	}
+	if dr, err := def.Dist(0, 6); err != nil || dr.Distance != 12 {
+		t.Fatalf("default Dist = %+v, %v", dr, err)
+	}
+	// Restoring again is a no-op: the tenant already serves.
+	if restored, failed, err = m2.RestoreAll(nil); err != nil || restored != 0 || failed != 0 {
+		t.Fatalf("second RestoreAll = (%d, %d, %v), want (0, 0, nil)", restored, failed, err)
+	}
+}
+
+func TestManagerPersistErrorSurfaced(t *testing.T) {
+	dir := openStore(t)
+	var mu sync.Mutex
+	var events []string
+	m := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: failingStore{dir},
+		OnPersist: func(name string, version uint64, err error) {
+			mu.Lock()
+			if err != nil {
+				events = append(events, name)
+			}
+			mu.Unlock()
+		},
+	})
+	defer m.Close()
+	setAndWait(t, mustTenant(t, m, "alpha", oracle.TenantConfig{}), pathGraph(t, 4, 1))
+	if st := m.Stats(); st.PersistErrors != 1 || st.Persists != 0 {
+		t.Fatalf("counters %+v, want one persist error", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 || events[0] != "alpha" {
+		t.Fatalf("OnPersist events %v", events)
+	}
+}
+
+// failingStore wraps a Dir but refuses every save.
+type failingStore struct{ *store.Dir }
+
+func (failingStore) Save(tenant string, s *store.Snapshot) error {
+	return errors.New("disk on fire")
+}
+
+func TestTenantNameValidationSharedWithStore(t *testing.T) {
+	// The manager accepts any non-empty name, but a store-backed manager
+	// must not persist under names the store rejects — make sure those
+	// fail loudly at persist time, not silently.
+	dir := openStore(t)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		Base:  oracle.Config{Algorithm: "test-exact"},
+		Store: dir,
+	})
+	defer m.Close()
+	tn := mustTenant(t, m, "weird/../name", oracle.TenantConfig{})
+	setAndWait(t, tn, pathGraph(t, 4, 1))
+	if st := m.Stats(); st.PersistErrors != 1 {
+		t.Fatalf("unsafe tenant name persisted: %+v", st)
+	}
+	if tenants, err := dir.Tenants(); err != nil || len(tenants) != 0 {
+		t.Fatalf("store contents %v, %v — want empty", tenants, err)
+	}
+}

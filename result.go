@@ -21,6 +21,25 @@ func newDistanceView(d *minplus.Dense) *DistanceMatrix {
 	return &DistanceMatrix{d: d}
 }
 
+// DistancesFromRows builds an n×n DistanceMatrix by calling fill once per
+// row u with a destination slice of length n to populate in place. It is the
+// streaming counterpart of DistancesFromSlices: the matrix storage is
+// allocated once and rows are decoded straight into it, so a consumer such
+// as the store snapshot codec never holds two copies of an n×n estimate. An
+// error from fill aborts construction and is returned unchanged.
+func DistancesFromRows(n int, fill func(u int, dst []int64) error) (*DistanceMatrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cliqueapsp: invalid matrix dimension %d", n)
+	}
+	d := minplus.NewDense(n)
+	for u := 0; u < n; u++ {
+		if err := fill(u, d.Row(u)); err != nil {
+			return nil, err
+		}
+	}
+	return &DistanceMatrix{d: d}, nil
+}
+
 // DistancesFromSlices builds a DistanceMatrix from a square slice-of-slices
 // (copying it), for feeding externally produced estimates into Evaluate,
 // NextHopTables, or a registered algorithm's output.

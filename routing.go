@@ -76,6 +76,54 @@ func nextHopInto(row []int, arcs []wArc, distances *DistanceMatrix, u int) {
 	}
 }
 
+// LoopFreeNextHopTables derives next-hop tables that greedy forwarding can
+// never loop on, even across zero-weight ties. Plain NextHopTables over
+// exact distances is loop-free only when every hop strictly decreases the
+// remaining distance; a zero-weight edge makes the decrease non-strict, and
+// the deterministic smallest-index tie-break can then bounce a packet
+// between two nodes of a zero-weight component forever.
+//
+// The fix is the Theorem 2.1 trick in routing form: build the tables over
+// the perturbed weights w'(e) = n·w(e) + 1. Every perturbed weight is ≥ 1,
+// so greedy forwarding on exact perturbed distances strictly decreases per
+// hop and must terminate; and since a path has at most n-1 edges, the
+// perturbation never reorders paths of different true weight — a perturbed
+// shortest path is a true shortest path (among them, one with fewest hops).
+// Routing the returned tables on g therefore delivers every connected pair
+// at exactly its true distance.
+func LoopFreeNextHopTables(g *Graph) ([][]int, error) {
+	pg, err := perturbedGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	// pg has exactly g's adjacency, so its tables are valid next-hop tables
+	// for g: only the tie-breaking — which neighbor gets picked — differs.
+	return NextHopTables(pg, Exact(pg))
+}
+
+// perturbedGraph returns g with every weight mapped to n·w+1 (Theorem
+// 2.1-style: zero weights become unit weights, order between distinct path
+// weights is preserved). Weights so large that a perturbed distance could
+// saturate at Inf are rejected.
+func perturbedGraph(g *Graph) (*Graph, error) {
+	n := int64(g.N())
+	// A shortest path sums < n perturbed weights, so capping each at
+	// Inf/n keeps every finite perturbed distance strictly below Inf.
+	limit := (Inf/n - 1) / n
+	pg := NewGraph(g.N())
+	for _, e := range g.Edges() {
+		if e.W > limit {
+			return nil, fmt.Errorf("cliqueapsp: weight %d on {%d,%d} too large to perturb for n=%d (limit %d)",
+				e.W, e.U, e.V, g.N(), limit)
+		}
+		if err := pg.AddEdge(e.U, e.V, e.W*n+1); err != nil {
+			// Unreachable: e came out of a validated graph.
+			panic(fmt.Sprintf("cliqueapsp: perturbing edge %+v: %v", e, err))
+		}
+	}
+	return pg, nil
+}
+
 func checkDistances(g *Graph, distances *DistanceMatrix) error {
 	if distances == nil {
 		return fmt.Errorf("cliqueapsp: nil distance matrix")

@@ -315,6 +315,101 @@ func TestSimulateForwardingZeroWeightStretch(t *testing.T) {
 	if stats.Delivered+stats.Failed != 6 || stats.WorstStretch > 1.0+1e-9 {
 		t.Fatalf("exact-table stats %+v", stats)
 	}
+
+	// Tables over the Theorem 2.1-style perturbed weights are the real fix:
+	// no failures at all, and every pair realized at its true distance.
+	loopFree, err := LoopFreeNextHopTables(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = SimulateForwarding(g, loopFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 6 || stats.Failed != 0 || stats.InfiniteStretch != 0 {
+		t.Fatalf("loop-free stats %+v, want 6 delivered, 0 failed, 0 infinite", stats)
+	}
+	if stats.WorstStretch > 1.0+1e-9 || stats.MeanStretch > 1.0+1e-9 {
+		t.Fatalf("loop-free stretch %+v, want exactly 1.0", stats)
+	}
+}
+
+// TestLoopFreeNextHopTablesZeroWeightTies pins the zero-weight routing loop
+// and its fix. On 0—1 (weight 0), 1—2 (weight 1), exact tables send node 1
+// toward destination 2 via node 0: the costs through 0 (0 + d(0,2) = 1) and
+// through 2 (1 + 0 = 1) tie, the deterministic tie-break picks the smaller
+// index, and the packet bounces 0↔1 forever. Perturbed-weight tables break
+// exactly this tie and must deliver every pair at true cost.
+func TestLoopFreeNextHopTablesZeroWeightTies(t *testing.T) {
+	g := NewGraph(3)
+	mustAdd(t, g, 0, 1, 0)
+	mustAdd(t, g, 1, 2, 1)
+
+	plain, err := NextHopTables(g, Exact(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SimulateForwarding(g, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed == 0 {
+		t.Fatal("plain exact tables delivered every pair; the zero-weight loop this test pins is gone")
+	}
+
+	loopFree, err := LoopFreeNextHopTables(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewGreedyRouter(g, func(src int) []int { return loopFree[src] })
+	exact := Exact(g)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if u == v {
+				continue
+			}
+			_, cost, err := router.Route(u, v)
+			if err != nil {
+				t.Fatalf("route %d→%d: %v", u, v, err)
+			}
+			if want := exact.At(u, v); cost != want {
+				t.Fatalf("route %d→%d cost %d, want exact %d", u, v, cost, want)
+			}
+		}
+	}
+	stats, err = SimulateForwarding(g, loopFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 6 || stats.Failed != 0 || stats.InfiniteStretch != 0 {
+		t.Fatalf("loop-free stats %+v, want all 6 delivered", stats)
+	}
+}
+
+// TestLoopFreeNextHopTablesRandomZeroClusters sweeps generated zero-weight
+// workloads: loop-free tables must deliver every connected pair at exactly
+// its true distance, with no failures and no infinite-stretch pairs.
+func TestLoopFreeNextHopTablesRandomZeroClusters(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, err := Generate("zeroclusters", 24, 0, 9, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := LoopFreeNextHopTables(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := SimulateForwarding(g, table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Failed != 0 || stats.InfiniteStretch != 0 {
+			t.Fatalf("seed %d: %+v, want no failures and no infinite stretch", seed, stats)
+		}
+		if stats.WorstStretch > 1.0+1e-9 {
+			t.Fatalf("seed %d: worst stretch %.6f, want 1.0 (true shortest paths)", seed, stats.WorstStretch)
+		}
+	}
 }
 
 func mustAdd(t *testing.T, g *Graph, u, v int, w int64) {
