@@ -43,6 +43,16 @@
 // rehydration activity is visible in /v1/stats under manager.restored,
 // manager.cold_hits, manager.persists and friends.
 //
+// With -keys the server authenticates every route except /healthz via
+// "Authorization: Bearer <key>": the file's admin key may do everything
+// (and alone may create/delete tenants), a per-tenant key only its own
+// /v1/graphs/{name}/* routes (a "default" key also grants the legacy /v1/*
+// routes). The file may also declare per-tenant quotas (requests/sec and
+// answers/sec token buckets) enforced with 429 + Retry-After; SIGHUP
+// reloads the file without a restart. Without -keys the server stays as
+// open as earlier versions. Throttle counts appear in /v1/stats under
+// manager.throttled and per tenant.
+//
 // Example:
 //
 //	ccserve -addr 127.0.0.1:8080 -alg constant -eps 0.1
@@ -81,6 +91,7 @@ func main() {
 		seed         = flag.Int64("seed", 0, "pin the rebuild seed (0 = engine-derived per rebuild)")
 		graphFile    = flag.String("graph", "", "preload the default tenant's graph (ccgen format) before serving")
 		dataDir      = flag.String("datadir", "", "persist published snapshots here and restore the fleet on start (empty = no persistence)")
+		keysFile     = flag.String("keys", "", "JSON key file enabling auth: admin + per-tenant Bearer keys and quotas; SIGHUP reloads it (empty = open server)")
 		keepVers     = flag.Int("keepversions", 2, "snapshot versions kept per tenant in -datadir before GC")
 		maxN         = flag.Int("maxn", 4096, "largest accepted graph (nodes)")
 		maxBatch     = flag.Int("maxbatch", 100000, "most pairs per batch query")
@@ -108,12 +119,21 @@ func main() {
 			logger.Fatal(err)
 		}
 	}
+	var keys *keyring
+	if *keysFile != "" {
+		var err error
+		keys, err = loadKeyring(*keysFile, logger.Printf)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
 
 	handler, err := newServer(serverConfig{
 		lim:           limits{maxNodes: *maxN, maxBatch: *maxBatch, maxBody: *maxBody},
 		maxGraphs:     *maxGraphs,
 		maxTotalNodes: *maxTotalN,
 		snapshots:     snapshots,
+		keys:          keys,
 		base: oracle.Config{
 			Algorithm:    cliqueapsp.Algorithm(*alg),
 			Eps:          *eps,
@@ -152,14 +172,31 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// SIGHUP re-reads the key file in place: rotated keys and updated
+	// quotas land without dropping a single snapshot or connection.
+	if keys != nil {
+		hupc := make(chan os.Signal, 1)
+		signal.Notify(hupc, syscall.SIGHUP)
+		go func() {
+			for range hupc {
+				logger.Printf("SIGHUP: reloading %s", *keysFile)
+				handler.ReloadKeys()
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		persist := "off"
 		if *dataDir != "" {
 			persist = *dataDir
 		}
-		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s)",
-			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist)
+		auth := "open"
+		if keys != nil {
+			auth = *keysFile
+		}
+		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s, keys=%s)",
+			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist, auth)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -40,6 +42,7 @@ type serverConfig struct {
 	maxGraphs     int        // most hosted graphs (0 = unlimited)
 	maxTotalNodes int        // summed node budget across graphs (0 = unlimited)
 	snapshots     *store.Dir // nil = no persistence (-datadir unset)
+	keys          *keyring   // nil = open server (-keys unset)
 	base          oracle.Config
 	logf          func(format string, args ...any)
 }
@@ -54,6 +57,7 @@ type server struct {
 	mgr   *oracle.Manager
 	def   *oracle.Tenant // the pinned default tenant
 	snaps *store.Dir     // nil without -datadir
+	auth  *keyring       // nil without -keys: every route open
 	lim   limits
 	mux   *http.ServeMux
 	start time.Time
@@ -74,6 +78,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s := &server{
 		snaps: cfg.snapshots,
+		auth:  cfg.keys,
 		lim:   cfg.lim,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
@@ -144,6 +149,10 @@ func newServer(cfg serverConfig) (*server, error) {
 		logf("snapshot restore: %d tenants up, %d skipped", restored, failed)
 	}
 
+	// With the fleet restored, the key file's quotas land on every hosted
+	// tenant before the first request is served.
+	s.applyFileQuotas()
+
 	// Single-graph routes: the pre-manager API, served by the default tenant.
 	s.mux.HandleFunc("/v1/dist", s.handleDist)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -159,6 +168,9 @@ func newServer(cfg serverConfig) (*server, error) {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.reqs.Add(1)
+	if !s.authorize(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -180,10 +192,30 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client closed
+// the connection (or its context deadline fired) before the response was
+// ready. Nobody usually reads the body — the point is the access log and
+// keeping the server error counter honest.
+const statusClientClosedRequest = 499
+
+// clientGone writes a 499 WITHOUT counting it as a server error: writeJSON
+// would bump errs for any status ≥ 400, and a canceled wait is the
+// client's doing, not the server's.
+func (s *server) clientGone(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusClientClosedRequest)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(errorBody{Error: err.Error()})
+}
+
 // fail maps an error to a status: oracle-not-ready serves 503 (retryable),
-// unknown tenants 404, admission rejections 429, everything else defaults
+// unknown tenants 404, admission rejections 429, bodies over -maxbody 413,
+// quota rejections 429 with a Retry-After header, everything else defaults
 // to the given status.
 func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	var maxBytes *http.MaxBytesError
+	var quota *oracle.QuotaError
 	switch {
 	case errors.Is(err, oracle.ErrNotReady) || errors.Is(err, oracle.ErrClosed):
 		status = http.StatusServiceUnavailable
@@ -191,10 +223,28 @@ func (s *server) fail(w http.ResponseWriter, status int, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, oracle.ErrTenantExists):
 		status = http.StatusConflict
+	case errors.As(err, &quota):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(quota.RetryAfter)))
 	case errors.Is(err, oracle.ErrOverCapacity):
 		status = http.StatusTooManyRequests
+	case errors.As(err, &maxBytes):
+		// MaxBytesReader trips mid-decode, so without this mapping a body
+		// over -maxbody would misreport as a 400 "bad request".
+		status = http.StatusRequestEntityTooLarge
 	}
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// retryAfterSeconds renders a quota retry delay as Retry-After seconds:
+// rounded up, and at least 1 so a client honoring the header never retries
+// in a busy-loop.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *server) requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
@@ -220,6 +270,36 @@ func queryPair(r *http.Request) (int, int, error) {
 		return 0, 0, fmt.Errorf("query parameter v: want an integer node index")
 	}
 	return u, v, nil
+}
+
+// decodeStrict decodes exactly one JSON value from r into v and requires
+// EOF after it: `{"pairs":[…]}{"oops":1}` is a malformed request, not a
+// request whose tail may be silently dropped.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return expectEOF(dec)
+}
+
+// expectEOF errors unless dec's input is exhausted (whitespace aside).
+func expectEOF(dec *json.Decoder) error {
+	_, err := dec.Token()
+	switch {
+	case err == io.EOF:
+		return nil
+	case err == nil:
+		return fmt.Errorf("trailing data after the JSON value")
+	default:
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return fmt.Errorf("trailing data after the JSON value: %v", err)
+		}
+		// A genuine read failure (e.g. the -maxbody cap tripping) outranks
+		// the trailing-data complaint — it must keep its own status mapping.
+		return err
+	}
 }
 
 // ---- per-tenant core handlers (shared by /v1/* and /v1/graphs/{name}/*) ----
@@ -275,7 +355,7 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant)
 		Pairs []jsonPair `json:"pairs"`
 	}
 	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch body: %w", err))
 		return
 	}
@@ -379,7 +459,7 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 			N     int        `json:"n"`
 			Edges []jsonEdge `json:"edges"`
 		}
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
+		if err := decodeStrict(body, &req); err != nil {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: %w", err))
 			return nil, false
 		}
@@ -469,6 +549,19 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.T
 	status := http.StatusAccepted
 	if r.URL.Query().Get("wait") != "" {
 		if err := t.Wait(r.Context(), version); err != nil {
+			// Classify by the REQUEST's context, not the error value: a
+			// -buildtimeout abort surfaces as context.DeadlineExceeded too,
+			// and that one is a genuine build failure the client must see
+			// as a 5xx, not be told its own patience ran out.
+			if r.Context().Err() != nil {
+				// The CLIENT gave up waiting, not the server failing: the
+				// build still completes (and persists) in the background.
+				// Report it nginx-style as 499 client-closed-request, outside
+				// the server error counter — a 500 here would both lie to
+				// monitoring and inflate http_errors with client impatience.
+				s.clientGone(w, fmt.Errorf("client stopped waiting for rebuild v%d: %w (the build continues)", version, err))
+				return
+			}
 			s.fail(w, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))
 			return
 		}
@@ -632,18 +725,24 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 }
 
 // POST /v1/graphs with {"name":"sf-roads","algorithm":"tradeoff","eps":0.2,
-// "seed":7,"max_nodes":512}. Algorithm, eps and seed override the server's
-// -alg/-eps/-seed defaults for this tenant only; max_nodes tightens -maxn.
+// "seed":7,"max_nodes":512,"key":"…","quota":{"requests_per_sec":50}}.
+// Algorithm, eps and seed override the server's -alg/-eps/-seed defaults
+// for this tenant only; max_nodes tightens -maxn; key registers a
+// per-tenant API key (requires -keys, admin-only like every create); quota
+// throttles the tenant from its first query (defaulting to the key file's
+// quota for this name, if any).
 func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Name      string  `json:"name"`
-		Algorithm string  `json:"algorithm"`
-		Eps       float64 `json:"eps"`
-		Seed      int64   `json:"seed"`
-		MaxNodes  int     `json:"max_nodes"`
+		Name      string        `json:"name"`
+		Algorithm string        `json:"algorithm"`
+		Eps       float64       `json:"eps"`
+		Seed      int64         `json:"seed"`
+		MaxNodes  int           `json:"max_nodes"`
+		Key       string        `json:"key"`
+		Quota     *oracle.Quota `json:"quota"`
 	}
 	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("create body: %w", err))
 		return
 	}
@@ -660,10 +759,38 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("max_nodes and eps must be nonnegative"))
 		return
 	}
+	if req.Key != "" {
+		if s.auth == nil {
+			// Accepting and silently ignoring a key would leave the caller
+			// believing the tenant is protected when every route is open.
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("key set but the server runs without -keys: authentication is disabled"))
+			return
+		}
+		// A key that already resolves to someone else would never identify
+		// this tenant (the existing owner wins the lookup) — reject it
+		// rather than hand out a credential that silently does not work.
+		if id, ok := s.auth.identify(req.Key); ok && (id.admin || id.tenant != req.Name) {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("key already in use by another identity"))
+			return
+		}
+	}
+	var quota oracle.Quota
+	if req.Quota != nil {
+		if err := req.Quota.Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		quota = *req.Quota
+	} else if s.auth != nil {
+		if q, ok := s.auth.quotaFor(req.Name); ok {
+			quota = q
+		}
+	}
 	t, err := s.mgr.Create(req.Name, oracle.TenantConfig{
 		Algorithm: cliqueapsp.Algorithm(req.Algorithm),
 		Eps:       req.Eps,
 		Seed:      req.Seed,
+		Quota:     quota,
 	})
 	if err != nil {
 		// fail() maps the client-caused sentinels (exists → 409, over
@@ -681,6 +808,9 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		delete(s.tlim, req.Name)
 	}
 	s.tmu.Unlock()
+	if req.Key != "" {
+		s.auth.setAPIKey(req.Name, req.Key)
+	}
 	s.logf("tenant %q created (algorithm=%q)", req.Name, req.Algorithm)
 	s.writeJSON(w, http.StatusCreated, summarize(t.Stats()))
 }
@@ -820,6 +950,12 @@ func (s *server) deleteTenant(w http.ResponseWriter, name string) {
 		s.tmu.Lock()
 		delete(s.tlim, name)
 		s.tmu.Unlock()
+		if s.auth != nil {
+			// The runtime-registered key dies with the tenant (file keys are
+			// the operator's to remove); a failed store erase keeps it, since
+			// the name can still rehydrate.
+			s.auth.dropAPIKey(name)
+		}
 	}
 	if err != nil {
 		// fail() maps ErrTenantNotFound to 404; anything else here means the

@@ -8,6 +8,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -55,6 +58,55 @@ func init() {
 				return cliqueapsp.AlgorithmOutput{}, err
 			}
 			return cliqueapsp.AlgorithmOutput{Distances: doubled, Factor: 2}, nil
+		},
+	})
+}
+
+// The gate holds "ccserve-test-gated" builds hostage until the test that
+// armed it closes it, so tests control exactly when a ?wait=1 rebuild
+// finishes. Each user calls resetGate() first: the gate is per-arming, so
+// the test binary survives -count=N without closing a closed channel.
+var (
+	gateMu       sync.Mutex
+	gateReleased = make(chan struct{})
+)
+
+func currentGate() chan struct{} {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	return gateReleased
+}
+
+// resetGate installs and returns a fresh, unreleased gate.
+func resetGate() chan struct{} {
+	gateMu.Lock()
+	defer gateMu.Unlock()
+	gateReleased = make(chan struct{})
+	return gateReleased
+}
+
+func init() {
+	mustRegister("ccserve-test-gated", cliqueapsp.AlgorithmSpec{
+		Summary:     "exact distances, but only after the test gate is released",
+		FactorBound: "1",
+		RoundClass:  "0",
+		Bandwidth:   "n/a",
+		Run: func(ctx context.Context, g *cliqueapsp.Graph, p cliqueapsp.RunParams) (cliqueapsp.AlgorithmOutput, error) {
+			select {
+			case <-currentGate():
+			case <-ctx.Done():
+				return cliqueapsp.AlgorithmOutput{}, ctx.Err()
+			}
+			return cliqueapsp.AlgorithmOutput{Distances: cliqueapsp.Exact(g), Factor: 1}, nil
+		},
+	})
+	mustRegister("ccserve-test-failing", cliqueapsp.AlgorithmSpec{
+		Summary:     "always fails: exercises build-error reporting",
+		FactorBound: "1",
+		RoundClass:  "0",
+		Bandwidth:   "n/a",
+		Run: func(ctx context.Context, g *cliqueapsp.Graph, p cliqueapsp.RunParams) (cliqueapsp.AlgorithmOutput, error) {
+			return cliqueapsp.AlgorithmOutput{}, fmt.Errorf("synthetic build failure")
 		},
 	})
 }
@@ -132,6 +184,41 @@ func doJSON(t *testing.T, method, url string, wantStatus int, out any) {
 		t.Fatal(err)
 	}
 	decodeBody(t, resp, wantStatus, out)
+}
+
+// doAuth issues a request with an optional "Authorization: Bearer key"
+// header and returns the raw response (callers need status AND headers for
+// the 401/403/429 assertions).
+func doAuth(t *testing.T, method, url, key, contentType, body string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// authJSON is doAuth + status assertion + JSON decode, returning the
+// response headers.
+func authJSON(t *testing.T, method, url, key, contentType, body string, wantStatus int, out any) http.Header {
+	t.Helper()
+	resp := doAuth(t, method, url, key, contentType, body)
+	decodeBody(t, resp, wantStatus, out)
+	return resp.Header
 }
 
 func decodeBody(t *testing.T, resp *http.Response, wantStatus int, out any) {
@@ -718,4 +805,345 @@ func TestServerPersistenceAcrossRestart(t *testing.T) {
 	if dist.Distance != 3 {
 		t.Fatalf("post-restore rebuild Dist = %+v, want 3", dist)
 	}
+}
+
+// TestServerOversizedBodyIs413 pins the -maxbody mapping: a body the
+// MaxBytesReader truncates mid-decode must report 413 entity-too-large,
+// not 400 bad-request — the client's JSON was fine, its size was not.
+func TestServerOversizedBodyIs413(t *testing.T) {
+	lim := defaultLimits()
+	lim.maxBody = 256
+	base := startServer(t, testConfig(lim))
+
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":3,"edges":[[0,1,1],[1,2,1]]}`, http.StatusOK, nil)
+
+	// JSON batch over the cap: the decoder hits the byte limit mid-array.
+	big := `{"pairs":[` + strings.Repeat(`[0,1],`, 100) + `[0,1]]}`
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	postJSON(t, base+"/v1/batch", "application/json", big, http.StatusRequestEntityTooLarge, &errBody)
+	if !strings.Contains(errBody.Error, "request body too large") {
+		t.Fatalf("413 error %q does not name the body limit", errBody.Error)
+	}
+
+	// JSON graph upload and the plain edge-list branch map the same way.
+	bigGraph := `{"n":3,"edges":[` + strings.Repeat(`[0,1,1],`, 100) + `[0,1,1]]}`
+	postJSON(t, base+"/v1/graph", "application/json", bigGraph, http.StatusRequestEntityTooLarge, nil)
+	postJSON(t, base+"/v1/graph", "text/plain",
+		"p 2 1\n"+strings.Repeat("c padding comment line\n", 50), http.StatusRequestEntityTooLarge, nil)
+
+	// A small malformed body is still a plain 400.
+	postJSON(t, base+"/v1/batch", "application/json", `{"pairs":`, http.StatusBadRequest, nil)
+
+	// The serving snapshot survived all of it.
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/dist?u=0&v=2", http.StatusOK, &dist)
+	if dist.Distance != 2 {
+		t.Fatalf("dist after oversized bodies %+v", dist)
+	}
+}
+
+// TestServerTrailingGarbageIs400 pins strict JSON framing: a second JSON
+// value (or raw garbage) after the first must be rejected, not silently
+// truncated into a half-honored request.
+func TestServerTrailingGarbageIs400(t *testing.T) {
+	base := startServer(t, testConfig(defaultLimits()))
+	postJSON(t, base+"/v1/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,5]]}`, http.StatusOK, nil)
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	postJSON(t, base+"/v1/batch", "application/json",
+		`{"pairs":[[0,1]]}{"oops":1}`, http.StatusBadRequest, &errBody)
+	if !strings.Contains(errBody.Error, "trailing data") {
+		t.Fatalf("trailing-garbage error %q", errBody.Error)
+	}
+	postJSON(t, base+"/v1/batch", "application/json",
+		`{"pairs":[[0,1]]} garbage`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graph", "application/json",
+		`{"n":2,"edges":[[0,1,5]]}[1,2]`, http.StatusBadRequest, nil)
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"x"}{"name":"y"}`, http.StatusBadRequest, nil)
+
+	// Trailing whitespace is not garbage.
+	postJSON(t, base+"/v1/batch", "application/json",
+		"{\"pairs\":[[0,1]]}\n\t \n", http.StatusOK, nil)
+
+	// Nothing above disturbed the snapshot, and the half-valid bodies were
+	// NOT half-applied: "x" was never created.
+	getJSON(t, base+"/v1/graphs/x", http.StatusNotFound, nil)
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/dist?u=0&v=1", http.StatusOK, &dist)
+	if dist.Distance != 5 {
+		t.Fatalf("dist after trailing-garbage bodies %+v", dist)
+	}
+}
+
+// TestServerCanceledWaitIsNotAServerError pins the ?wait=1 cancellation
+// semantics: a client abandoning its wait is not a 500, does not inflate
+// http_errors, and does not abort the build — the snapshot still lands.
+func TestServerCanceledWaitIsNotAServerError(t *testing.T) {
+	gate := resetGate()
+	base := startServer(t, testConfig(defaultLimits()))
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"slow","algorithm":"ccserve-test-gated"}`, http.StatusCreated, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/graphs/slow/graph?wait=1", strings.NewReader(`{"n":2,"edges":[[0,1,5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatalf("canceled wait returned a response: %d", resp.StatusCode)
+	}
+	// Give the handler a beat to observe the cancellation and finish.
+	time.Sleep(200 * time.Millisecond)
+
+	var st struct {
+		HTTPErrors   uint64 `json:"http_errors"`
+		GraphUploads uint64 `json:"graph_uploads"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &st)
+	if st.HTTPErrors != 0 {
+		t.Fatalf("http_errors = %d after a client-canceled wait, want 0", st.HTTPErrors)
+	}
+	if st.GraphUploads != 1 {
+		t.Fatalf("graph_uploads = %d, want 1 (the upload was accepted)", st.GraphUploads)
+	}
+
+	// Release the build: it must complete and serve despite the client
+	// having walked away.
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var sum tenantSummary
+		getJSON(t, base+"/v1/graphs/slow", http.StatusOK, &sum)
+		if sum.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned build never served")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var dist oracle.DistResult
+	getJSON(t, base+"/v1/graphs/slow/dist?u=0&v=1", http.StatusOK, &dist)
+	if dist.Distance != 5 || dist.Version != 1 {
+		t.Fatalf("dist after abandoned wait %+v", dist)
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &st)
+	if st.HTTPErrors != 0 {
+		t.Fatalf("http_errors = %d at the end, want 0", st.HTTPErrors)
+	}
+}
+
+// TestServerFailedBuildWaitIs500 is the complement of the 499 mapping: a
+// BUILD failing while the client still waits is a genuine server error —
+// 500, counted in http_errors, never misread as client impatience.
+func TestServerFailedBuildWaitIs500(t *testing.T) {
+	base := startServer(t, testConfig(defaultLimits()))
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"broken","algorithm":"ccserve-test-failing"}`, http.StatusCreated, nil)
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	postJSON(t, base+"/v1/graphs/broken/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,1]]}`, http.StatusInternalServerError, &errBody)
+	if !strings.Contains(errBody.Error, "synthetic build failure") {
+		t.Fatalf("500 body %q does not carry the build error", errBody.Error)
+	}
+	var st struct {
+		HTTPErrors uint64 `json:"http_errors"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &st)
+	if st.HTTPErrors != 1 {
+		t.Fatalf("http_errors = %d after a failed build, want 1", st.HTTPErrors)
+	}
+}
+
+// TestServerBuildTimeoutWaitIs500 pins the trap the 499 fix avoids: a
+// -buildtimeout abort surfaces as context.DeadlineExceeded from the BUILD,
+// and with the client still connected it must be a 500, not a 499.
+func TestServerBuildTimeoutWaitIs500(t *testing.T) {
+	resetGate() // never released: the gated build can only end by timeout
+	cfg := testConfig(defaultLimits())
+	cfg.base.BuildTimeout = 50 * time.Millisecond
+	base := startServer(t, cfg)
+	postJSON(t, base+"/v1/graphs", "application/json",
+		`{"name":"stuck","algorithm":"ccserve-test-gated"}`, http.StatusCreated, nil)
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	postJSON(t, base+"/v1/graphs/stuck/graph?wait=1", "application/json",
+		`{"n":2,"edges":[[0,1,1]]}`, http.StatusInternalServerError, &errBody)
+	if !strings.Contains(errBody.Error, "deadline exceeded") {
+		t.Fatalf("500 body %q does not carry the timeout", errBody.Error)
+	}
+}
+
+// TestServerAuthAndQuotaEndToEnd is the acceptance criterion for the auth
+// stack: with a key file loaded, unauthenticated requests get 401, another
+// tenant's key gets 403, an over-quota tenant gets 429 + Retry-After while
+// an under-quota tenant keeps being answered — and an evicted tenant comes
+// back from disk with its quota still enforced.
+func TestServerAuthAndQuotaEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	keysPath := filepath.Join(dir, "keys.json")
+	if err := os.WriteFile(keysPath, []byte(`{
+		"admin": "root-key",
+		"tenants": {
+			"alpha": {"key": "alpha-key"},
+			"beta":  {"key": "beta-key",
+			          "quota": {"answers_per_sec": 0.001, "answer_burst": 4}}
+		}
+	}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := loadKeyring(keysPath, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots, err := store.Open(filepath.Join(dir, "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(defaultLimits())
+	cfg.keys = keys
+	cfg.snapshots = snapshots
+	cfg.maxGraphs = 4 // default + three of {alpha, beta, delta, gamma}
+	base := startServer(t, cfg)
+	const js = "application/json"
+
+	// No key, wrong key: 401 with a WWW-Authenticate challenge. /healthz
+	// stays open (503 only because no graph serves yet — not 401).
+	hdr := authJSON(t, http.MethodGet, base+"/v1/stats", "", "", "", http.StatusUnauthorized, nil)
+	if hdr.Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without WWW-Authenticate")
+	}
+	authJSON(t, http.MethodGet, base+"/v1/stats", "wrong-key", "", "", http.StatusUnauthorized, nil)
+	authJSON(t, http.MethodGet, base+"/v1/graphs/alpha/dist?u=0&v=1", "", "", "", http.StatusUnauthorized, nil)
+	getJSON(t, base+"/healthz", http.StatusServiceUnavailable, nil)
+
+	// Tenant keys cannot create tenants; the admin can. beta's quota comes
+	// from the key file, delta's key and quota from the create body.
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "alpha-key", js,
+		`{"name":"alpha"}`, http.StatusForbidden, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "root-key", js,
+		`{"name":"alpha","algorithm":"ccserve-test-exact"}`, http.StatusCreated, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "root-key", js,
+		`{"name":"beta","algorithm":"ccserve-test-exact"}`, http.StatusCreated, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "root-key", js,
+		`{"name":"delta","key":"delta-key","quota":{"requests_per_sec":0.001,"request_burst":1}}`,
+		http.StatusCreated, nil)
+	// A key that already belongs to someone else would never resolve to the
+	// new tenant — rejected up front.
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "root-key", js,
+		`{"name":"epsilon","key":"alpha-key"}`, http.StatusBadRequest, nil)
+
+	graph := `{"n":4,"edges":[[0,1,3],[1,2,1],[2,3,2]]}`
+	authJSON(t, http.MethodPost, base+"/v1/graphs/alpha/graph?wait=1", "alpha-key", js, graph, http.StatusOK, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs/beta/graph?wait=1", "beta-key", js, graph, http.StatusOK, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs/delta/graph?wait=1", "delta-key", js, graph, http.StatusOK, nil)
+
+	// Scoping: alpha's key touches alpha only — not beta, not the
+	// admin-only surfaces, not the default tenant behind the legacy routes.
+	var dist oracle.DistResult
+	authJSON(t, http.MethodGet, base+"/v1/graphs/alpha/dist?u=0&v=3", "alpha-key", "", "", http.StatusOK, &dist)
+	if dist.Distance != 6 {
+		t.Fatalf("alpha dist %+v", dist)
+	}
+	authJSON(t, http.MethodGet, base+"/v1/graphs/beta/dist?u=0&v=3", "alpha-key", "", "", http.StatusForbidden, nil)
+	authJSON(t, http.MethodGet, base+"/v1/graphs", "alpha-key", "", "", http.StatusForbidden, nil)
+	authJSON(t, http.MethodGet, base+"/v1/stats", "alpha-key", "", "", http.StatusForbidden, nil)
+	authJSON(t, http.MethodDelete, base+"/v1/graphs/alpha", "alpha-key", "", "", http.StatusForbidden, nil)
+	authJSON(t, http.MethodGet, base+"/v1/dist?u=0&v=1", "alpha-key", "", "", http.StatusForbidden, nil)
+
+	// The API-registered delta key works and its quota bites: burst 1, so
+	// the second request is 429.
+	authJSON(t, http.MethodGet, base+"/v1/graphs/delta/dist?u=0&v=3", "delta-key", "", "", http.StatusOK, nil)
+	authJSON(t, http.MethodGet, base+"/v1/graphs/delta/dist?u=0&v=3", "delta-key", "", "", http.StatusTooManyRequests, nil)
+
+	// beta's answer quota: one batch spends the whole burst of 4; sustained
+	// batch traffic after it is 429 with Retry-After, while alpha's queries
+	// sail through untouched.
+	var batch oracle.BatchResult
+	authJSON(t, http.MethodPost, base+"/v1/graphs/beta/batch", "beta-key", js,
+		`{"pairs":[[0,1],[0,2],[0,3],[1,3]]}`, http.StatusOK, &batch)
+	if len(batch.Answers) != 4 || batch.Answers[2].Distance != 6 {
+		t.Fatalf("beta batch %+v", batch)
+	}
+	for i := 0; i < 3; i++ {
+		hdr := authJSON(t, http.MethodPost, base+"/v1/graphs/beta/batch", "beta-key", js,
+			`{"pairs":[[0,1],[0,2]]}`, http.StatusTooManyRequests, nil)
+		ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil || ra < 1 {
+			t.Fatalf("429 Retry-After %q: %v", hdr.Get("Retry-After"), err)
+		}
+		authJSON(t, http.MethodGet, base+"/v1/graphs/alpha/dist?u=0&v=3", "alpha-key", "", "", http.StatusOK, &dist)
+		if dist.Distance != 6 {
+			t.Fatalf("alpha dist while beta throttled %+v", dist)
+		}
+	}
+
+	// Throttle counters: aggregate and per tenant in /v1/stats.
+	var st struct {
+		Manager oracle.ManagerStats `json:"manager"`
+	}
+	authJSON(t, http.MethodGet, base+"/v1/stats", "root-key", "", "", http.StatusOK, &st)
+	if st.Manager.Throttled < 4 { // 3 beta batches + 1 delta dist
+		t.Fatalf("manager throttled = %d, want >= 4", st.Manager.Throttled)
+	}
+	for _, ts := range st.Manager.Tenants {
+		switch ts.Name {
+		case "beta":
+			if ts.Throttled != 3 || ts.Quota == nil || ts.Quota.AnswerBurst != 4 {
+				t.Fatalf("beta stats %+v", ts)
+			}
+		case "alpha":
+			if ts.Throttled != 0 || ts.Quota != nil {
+				t.Fatalf("alpha stats %+v", ts)
+			}
+		}
+	}
+
+	// Evict beta: make alpha and delta more recent than beta's last
+	// successful query (throttled calls deliberately do not refresh
+	// recency, so delta needs a graph upload — uploads are not metered).
+	authJSON(t, http.MethodGet, base+"/v1/graphs/alpha/dist?u=0&v=3", "alpha-key", "", "", http.StatusOK, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs/delta/graph?wait=1", "delta-key", js, graph, http.StatusOK, nil)
+	authJSON(t, http.MethodPost, base+"/v1/graphs", "root-key", js,
+		`{"name":"gamma"}`, http.StatusCreated, nil)
+	var sum tenantSummary
+	authJSON(t, http.MethodGet, base+"/v1/graphs/beta", "root-key", "", "", http.StatusOK, &sum)
+	if !sum.Evicted {
+		t.Fatalf("beta summary after gamma created: %+v (want evicted)", sum)
+	}
+
+	// Rehydration brings beta back from disk WITH its quota: a fresh burst
+	// of 4 is admitted, then 429 again.
+	authJSON(t, http.MethodPost, base+"/v1/graphs/beta/batch", "beta-key", js,
+		`{"pairs":[[0,1],[0,2],[0,3],[1,3]]}`, http.StatusOK, &batch)
+	if batch.Answers[2].Distance != 6 {
+		t.Fatalf("rehydrated beta batch %+v", batch)
+	}
+	hdr = authJSON(t, http.MethodPost, base+"/v1/graphs/beta/batch", "beta-key", js,
+		`{"pairs":[[0,1]]}`, http.StatusTooManyRequests, nil)
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("rehydrated 429 Retry-After %q: %v", hdr.Get("Retry-After"), err)
+	}
+
+	// Deleting a tenant drops its API-registered key: delta's key becomes
+	// unknown (401), not merely unscoped (403).
+	authJSON(t, http.MethodDelete, base+"/v1/graphs/delta", "root-key", "", "", http.StatusOK, nil)
+	authJSON(t, http.MethodGet, base+"/v1/graphs/delta/dist?u=0&v=3", "delta-key", "", "", http.StatusUnauthorized, nil)
 }

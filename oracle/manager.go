@@ -90,6 +90,13 @@ type TenantConfig struct {
 	RunOptions []cliqueapsp.RunOption
 	// BuildTimeout overrides Base.BuildTimeout when > 0.
 	BuildTimeout time.Duration
+	// Quota bounds the tenant's query traffic (zero = unlimited), enforced
+	// in Tenant.Dist/Batch/Path: a rejected call returns a *QuotaError
+	// (matching ErrQuotaExceeded) carrying the retry delay. Like the rest
+	// of the config it is remembered across eviction, so a rehydrated
+	// tenant comes back throttled exactly as it left. Replaceable at
+	// runtime with Tenant.SetQuota.
+	Quota Quota
 	// Pinned exempts the tenant from eviction (it still counts against the
 	// budgets). The serving default tenant of a daemon is the typical pin.
 	Pinned bool
@@ -123,6 +130,7 @@ type Manager struct {
 	restoreErrors   atomic.Uint64
 	coldHits        atomic.Uint64
 	rehydrateErrors atomic.Uint64
+	throttled       atomic.Uint64 // quota rejections across all tenants, ever
 
 	// hydrating singleflights rehydrations per tenant name so concurrent
 	// cold hits do one disk load and every caller returns a serving tenant.
@@ -154,10 +162,12 @@ type Tenant struct {
 	cfg     TenantConfig
 	created time.Time
 
-	lastUsed atomic.Uint64 // manager clock tick of the last touch
-	nodes    atomic.Int64  // admitted node budget of the registered graph
-	evicted  atomic.Bool   // removed by eviction (vs. Delete/Close)
-	setMu    sync.Mutex    // serializes admission + SetGraph per tenant
+	lastUsed  atomic.Uint64           // manager clock tick of the last touch
+	nodes     atomic.Int64            // admitted node budget of the registered graph
+	evicted   atomic.Bool             // removed by eviction (vs. Delete/Close)
+	lim       atomic.Pointer[limiter] // nil = unlimited; swapped whole by SetQuota
+	throttled atomic.Uint64           // queries this tenant had rejected by quota
+	setMu     sync.Mutex              // serializes admission + SetGraph per tenant
 }
 
 // NewManager returns an empty Manager.
@@ -181,6 +191,9 @@ func NewManager(cfg ManagerConfig) *Manager {
 func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("oracle: empty tenant name")
+	}
+	if err := tc.Quota.Validate(); err != nil {
+		return nil, err
 	}
 	cfg := m.cfg.Base
 	cfg.Engine = m.eng
@@ -256,6 +269,7 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	}
 
 	t := &Tenant{name: name, m: m, cfg: tc, created: time.Now()}
+	t.lim.Store(newLimiter(tc.Quota, nil))
 	t.lastUsed.Store(m.tick.Add(1))
 	if wipe {
 		// Held until the wipe below is done (lock order: flight, setMu, mu).
@@ -822,6 +836,33 @@ func (m *Manager) RestoreAll(report func(tenant string, err error)) (restored, f
 	return restored, failed, nil
 }
 
+// SetQuota ensures q is the quota enforced for name, whether the tenant is
+// currently hosted or evicted-awaiting-rehydration (the remembered config a
+// rehydration restores is updated too, so a quota change cannot be lost to
+// an eviction window). Unlike Tenant.SetQuota it is idempotent: a hosted
+// tenant already enforcing q keeps its bucket state, so periodic
+// reconciliation (e.g. a daemon's config reload) does not hand every
+// tenant a fresh burst. An unknown name is a no-op — the quota simply has
+// nothing to attach to.
+func (m *Manager) SetQuota(name string, q Quota) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	// Update the remembered eviction config first: if a rehydration is
+	// racing this call, it re-creates the tenant from this entry under the
+	// hydration flight and picks the new quota up.
+	m.mu.Lock()
+	if tc, ok := m.evictedCfg[name]; ok {
+		tc.Quota = q
+		m.evictedCfg[name] = tc
+	}
+	m.mu.Unlock()
+	if t, err := m.Peek(name); err == nil && t.Quota() != q {
+		return t.SetQuota(q)
+	}
+	return nil
+}
+
 // ManagerStats aggregates the manager's admission counters with every
 // tenant's own Stats.
 type ManagerStats struct {
@@ -851,6 +892,10 @@ type ManagerStats struct {
 	// on a loadable-but-unrestorable or corrupt snapshot.
 	ColdHits        uint64 `json:"cold_hits"`
 	RehydrateErrors uint64 `json:"rehydrate_errors"`
+	// Throttled counts queries rejected by per-tenant quotas, summed over
+	// every tenant that ever lived in this manager (per-tenant counters die
+	// with their tenant; this one does not).
+	Throttled uint64 `json:"throttled"`
 	// Tenants holds one entry per hosted tenant, sorted by name.
 	Tenants []TenantStats `json:"tenants"`
 }
@@ -861,7 +906,11 @@ type TenantStats struct {
 	Pinned bool          `json:"pinned"`
 	Nodes  int           `json:"nodes"`
 	Age    time.Duration `json:"age_ns"`
-	Oracle Stats         `json:"oracle"`
+	// Quota echoes the enforced quota (absent = unlimited); Throttled
+	// counts this tenant's queries it rejected.
+	Quota     *Quota `json:"quota,omitempty"`
+	Throttled uint64 `json:"throttled"`
+	Oracle    Stats  `json:"oracle"`
 }
 
 // Stats returns a point-in-time view of the manager and all tenants.
@@ -882,6 +931,7 @@ func (m *Manager) Stats() ManagerStats {
 		RestoreErrors:   m.restoreErrors.Load(),
 		ColdHits:        m.coldHits.Load(),
 		RehydrateErrors: m.rehydrateErrors.Load(),
+		Throttled:       m.throttled.Load(),
 	}
 	tenants := make([]*Tenant, 0, len(m.tenants))
 	for _, t := range m.tenants {
@@ -947,31 +997,102 @@ func (t *Tenant) Ready() bool { return t.o.Ready() }
 // Version returns the tenant's serving snapshot version.
 func (t *Tenant) Version() uint64 { return t.o.Version() }
 
-// Dist answers one distance query (see Oracle.Dist).
-func (t *Tenant) Dist(u, v int) (DistResult, error) {
-	t.touch()
-	return t.o.Dist(u, v)
+// allow charges one query producing answers pairs against the tenant's
+// quota. Throttled calls do not refresh LRU recency: recency tracks served
+// traffic, so a tenant hammering past its quota gains no eviction
+// protection over well-behaved ones.
+func (t *Tenant) allow(answers int) error {
+	wait, resource, ok := t.lim.Load().allow(answers)
+	if ok {
+		return nil
+	}
+	t.throttled.Add(1)
+	t.m.throttled.Add(1)
+	return &QuotaError{Tenant: t.name, Resource: resource, RetryAfter: wait}
 }
 
-// Batch answers many pairs from one snapshot (see Oracle.Batch).
-func (t *Tenant) Batch(pairs []Pair) (BatchResult, error) {
+// SetQuota replaces the tenant's quota at runtime (a zero q removes it).
+// The new buckets start full, and the change is remembered across eviction
+// like a creation-time Quota.
+func (t *Tenant) SetQuota(q Quota) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	// cfg.Quota is copied under m.mu when the tenant is evicted, so the
+	// remembered config always reflects the latest SetQuota.
+	t.m.mu.Lock()
+	t.cfg.Quota = q
+	t.m.mu.Unlock()
+	t.lim.Store(newLimiter(q, nil))
+	return nil
+}
+
+// Quota returns the quota currently enforced (zero = unlimited).
+func (t *Tenant) Quota() Quota {
+	if l := t.lim.Load(); l != nil {
+		return l.q
+	}
+	return Quota{}
+}
+
+// Dist answers one distance query (see Oracle.Dist).
+func (t *Tenant) Dist(u, v int) (DistResult, error) {
+	if err := t.allow(1); err != nil {
+		return DistResult{}, err
+	}
 	t.touch()
-	return t.o.Batch(pairs)
+	res, err := t.o.Dist(u, v)
+	if err != nil {
+		// The quota meters answered traffic; a failed query (not ready,
+		// out-of-range pair) produced nothing and gets its tokens back.
+		t.lim.Load().refundCall(1)
+	}
+	return res, err
+}
+
+// Batch answers many pairs from one snapshot (see Oracle.Batch). The whole
+// batch is charged against the answer quota up front — len(pairs) answer
+// tokens — so batching cannot launder load past a per-answer budget.
+func (t *Tenant) Batch(pairs []Pair) (BatchResult, error) {
+	if err := t.allow(len(pairs)); err != nil {
+		return BatchResult{}, err
+	}
+	t.touch()
+	res, err := t.o.Batch(pairs)
+	if err != nil {
+		t.lim.Load().refundCall(len(pairs))
+	}
+	return res, err
 }
 
 // Path answers one greedy-routing query (see Oracle.Path).
 func (t *Tenant) Path(u, v int) (PathResult, error) {
+	if err := t.allow(1); err != nil {
+		return PathResult{}, err
+	}
 	t.touch()
-	return t.o.Path(u, v)
+	res, err := t.o.Path(u, v)
+	if err != nil {
+		t.lim.Load().refundCall(1)
+	}
+	return res, err
 }
 
 // Stats returns the tenant's oracle counters tagged with its identity.
 func (t *Tenant) Stats() TenantStats {
-	return TenantStats{
-		Name:   t.name,
-		Pinned: t.cfg.Pinned,
-		Nodes:  int(t.nodes.Load()),
-		Age:    time.Since(t.created),
-		Oracle: t.o.Stats(),
+	ts := TenantStats{
+		Name:      t.name,
+		Pinned:    t.cfg.Pinned,
+		Nodes:     int(t.nodes.Load()),
+		Age:       time.Since(t.created),
+		Throttled: t.throttled.Load(),
+		Oracle:    t.o.Stats(),
 	}
+	// Read through the limiter, not t.cfg: the limiter pointer is atomic
+	// while cfg.Quota is only synchronized with eviction's copy.
+	if l := t.lim.Load(); l != nil {
+		q := l.q
+		ts.Quota = &q
+	}
+	return ts
 }

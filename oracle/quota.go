@@ -1,0 +1,200 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded is the sentinel every quota rejection matches
+// (errors.Is). The concrete error is always a *QuotaError carrying the
+// retry delay, extractable with errors.As.
+var ErrQuotaExceeded = errors.New("oracle: quota exceeded")
+
+// Quota bounds one tenant's query traffic with token buckets. The zero
+// value is unlimited; each rate is independently optional (≤ 0 disables
+// that bucket).
+//
+// Requests and answers are metered separately on purpose: a request quota
+// alone would let a tenant launder arbitrary load through ever-larger
+// Batch calls, so a Batch of 10k pairs spends 10k answer tokens — the
+// per-answer cost is the scarce resource the oracle actually protects.
+type Quota struct {
+	// RequestsPerSec caps Dist/Batch/Path calls per second.
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+	// RequestBurst is the request bucket's capacity — how many calls may
+	// land back-to-back after an idle spell. Defaults to
+	// max(1, ⌈RequestsPerSec⌉), i.e. one second of traffic.
+	RequestBurst int `json:"request_burst,omitempty"`
+	// AnswersPerSec caps answered pairs per second across Dist, Batch and
+	// Path (Dist and Path spend 1, Batch spends one per pair).
+	AnswersPerSec float64 `json:"answers_per_sec,omitempty"`
+	// AnswerBurst is the answer bucket's capacity. It also bounds the
+	// largest admissible single Batch: a batch needing more answer tokens
+	// than the bucket can ever hold is rejected outright. Defaults to
+	// max(1, ⌈AnswersPerSec⌉).
+	AnswerBurst int `json:"answer_burst,omitempty"`
+}
+
+// IsZero reports whether q enforces nothing.
+func (q Quota) IsZero() bool { return q.RequestsPerSec <= 0 && q.AnswersPerSec <= 0 }
+
+// Validate rejects quotas with negative or non-finite fields — zero means
+// unlimited, but a negative rate is always a caller mistake, not a policy.
+func (q Quota) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"requests_per_sec", q.RequestsPerSec},
+		{"request_burst", float64(q.RequestBurst)},
+		{"answers_per_sec", q.AnswersPerSec},
+		{"answer_burst", float64(q.AnswerBurst)},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("oracle: quota %s must be a nonnegative finite number", f.name)
+		}
+	}
+	return nil
+}
+
+// QuotaError is a query rejected by a tenant's Quota. It matches
+// ErrQuotaExceeded under errors.Is.
+type QuotaError struct {
+	// Tenant is the throttled tenant's name ("" on a bare Oracle).
+	Tenant string
+	// Resource names the exhausted bucket: "requests" or "answers".
+	Resource string
+	// RetryAfter is how long until the bucket will have refilled enough to
+	// admit this same call — the value an HTTP surface should put in a
+	// Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("oracle: tenant %q over %s quota (retry in %s)", e.Tenant, e.Resource, e.RetryAfter)
+}
+
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
+
+// bucket is one token bucket. rate 0 disables it. Buckets start full, so a
+// freshly configured tenant gets its burst immediately.
+type bucket struct {
+	rate   float64 // tokens added per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time // last refill instant (zero = never touched)
+}
+
+func newBucket(rate float64, burst int) bucket {
+	if rate <= 0 {
+		return bucket{}
+	}
+	b := math.Max(1, math.Ceil(rate))
+	if burst > 0 {
+		b = float64(burst)
+	}
+	return bucket{rate: rate, burst: b}
+}
+
+// take spends n tokens if the bucket holds them, refilling for the time
+// elapsed since the last call first. On refusal it reports how long until n
+// tokens will have accumulated (which never happens when n > burst — the
+// bucket can't hold that many — so callers should treat gigantic waits as
+// "split the call", not "retry later").
+func (b *bucket) take(n float64, now time.Time) (time.Duration, bool) {
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	// The epsilon absorbs float drift so that waiting exactly the returned
+	// RetryAfter is sufficient, not just nearly sufficient.
+	if b.tokens+1e-9 >= n {
+		b.tokens -= n
+		return 0, true
+	}
+	return time.Duration((n - b.tokens) / b.rate * float64(time.Second)), false
+}
+
+// refund returns tokens to the bucket (capped at burst): taken for a call
+// that a later bucket then rejected.
+func (b *bucket) refund(n float64) {
+	b.tokens = math.Min(b.burst, b.tokens+n)
+}
+
+// limiter enforces one Quota. A nil *limiter admits everything.
+type limiter struct {
+	q   Quota
+	now func() time.Time
+
+	mu  sync.Mutex
+	req bucket
+	ans bucket
+}
+
+// newLimiter builds a limiter for q, or nil when q enforces nothing. now is
+// the clock (nil = time.Now; injectable for tests).
+func newLimiter(q Quota, now func() time.Time) *limiter {
+	if q.IsZero() {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &limiter{
+		q:   q,
+		now: now,
+		req: newBucket(q.RequestsPerSec, q.RequestBurst),
+		ans: newBucket(q.AnswersPerSec, q.AnswerBurst),
+	}
+}
+
+// refundCall returns an admitted call's tokens (one request, answers
+// answer tokens) after the query failed to produce anything: the quota
+// meters served traffic, so a not-ready 503 or a malformed pair must not
+// eat into the budget.
+func (l *limiter) refundCall(answers int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.req.rate > 0 {
+		l.req.refund(1)
+	}
+	if l.ans.rate > 0 {
+		l.ans.refund(float64(answers))
+	}
+}
+
+// allow admits one query that will produce answers pairs, or reports the
+// exhausted resource and the wait until this same call would be admitted.
+// A request token taken for a call the answer bucket then rejects is
+// refunded, so the two budgets stay independent: retrying an over-answer
+// call does not also drain the request budget.
+func (l *limiter) allow(answers int) (wait time.Duration, resource string, ok bool) {
+	if l == nil {
+		return 0, "", true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.req.rate > 0 {
+		if wait, ok := l.req.take(1, now); !ok {
+			return wait, "requests", false
+		}
+	}
+	if l.ans.rate > 0 {
+		if wait, ok := l.ans.take(float64(answers), now); !ok {
+			if l.req.rate > 0 {
+				l.req.refund(1)
+			}
+			return wait, "answers", false
+		}
+	}
+	return 0, "", true
+}

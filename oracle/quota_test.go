@@ -1,0 +1,133 @@
+package oracle
+
+// Internal limiter tests: the token-bucket math must be deterministic, so
+// these drive a fake clock rather than racing time.Now.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func mustAllow(t *testing.T, l *limiter, n int) {
+	t.Helper()
+	if wait, resource, ok := l.allow(n); !ok {
+		t.Fatalf("allow(%d) throttled on %s (wait %s), want admitted", n, resource, wait)
+	}
+}
+
+func mustThrottle(t *testing.T, l *limiter, n int, resource string) time.Duration {
+	t.Helper()
+	wait, got, ok := l.allow(n)
+	if ok {
+		t.Fatalf("allow(%d) admitted, want throttled on %s", n, resource)
+	}
+	if got != resource {
+		t.Fatalf("allow(%d) throttled on %s, want %s", n, got, resource)
+	}
+	if wait <= 0 {
+		t.Fatalf("allow(%d) rejected with non-positive RetryAfter %s", n, wait)
+	}
+	return wait
+}
+
+func TestLimiterNilAndZero(t *testing.T) {
+	if l := newLimiter(Quota{}, nil); l != nil {
+		t.Fatalf("zero quota built a limiter: %+v", l)
+	}
+	var l *limiter
+	if _, _, ok := l.allow(1_000_000); !ok {
+		t.Fatal("nil limiter throttled")
+	}
+	if !(Quota{}).IsZero() || (Quota{RequestsPerSec: 1}).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestQuotaValidate(t *testing.T) {
+	for _, bad := range []Quota{
+		{RequestsPerSec: -1},
+		{AnswersPerSec: -0.5},
+		{RequestsPerSec: 1, RequestBurst: -2},
+		{AnswersPerSec: 1, AnswerBurst: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+	if err := (Quota{RequestsPerSec: 2.5, AnswersPerSec: 100, AnswerBurst: 7}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimiterRequestBucket(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(Quota{RequestsPerSec: 2}, clk.now) // burst defaults to 2
+
+	// The bucket starts full: the burst is admitted back-to-back.
+	mustAllow(t, l, 1)
+	mustAllow(t, l, 1)
+	wait := mustThrottle(t, l, 1, "requests")
+	if wait != 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %s, want 500ms at 2 req/s", wait)
+	}
+	// Waiting exactly the advertised delay is sufficient.
+	clk.advance(wait)
+	mustAllow(t, l, 1)
+	mustThrottle(t, l, 1, "requests")
+	// A long idle spell refills to burst, no further.
+	clk.advance(time.Hour)
+	mustAllow(t, l, 1)
+	mustAllow(t, l, 1)
+	mustThrottle(t, l, 1, "requests")
+}
+
+func TestLimiterAnswerBucketAndRefund(t *testing.T) {
+	clk := newFakeClock()
+	l := newLimiter(Quota{RequestsPerSec: 1, RequestBurst: 1, AnswersPerSec: 10, AnswerBurst: 10}, clk.now)
+
+	// An over-answer batch is rejected on "answers" and must refund its
+	// request token: the immediate smaller retry is admitted.
+	mustThrottle(t, l, 11, "answers")
+	mustAllow(t, l, 10)
+
+	// Now both buckets are dry; the next failure is on "requests".
+	mustThrottle(t, l, 1, "requests")
+	clk.advance(time.Second) // refills 1 request token and all 10 answer tokens
+	mustAllow(t, l, 10)
+}
+
+func TestLimiterBurstDefaultsAndOverride(t *testing.T) {
+	clk := newFakeClock()
+	// Fractional rate: burst defaults to max(1, ceil(rate)) = 1.
+	l := newLimiter(Quota{RequestsPerSec: 0.5}, clk.now)
+	mustAllow(t, l, 1)
+	if wait := mustThrottle(t, l, 1, "requests"); wait != 2*time.Second {
+		t.Fatalf("RetryAfter = %s, want 2s at 0.5 req/s", wait)
+	}
+	// Explicit burst wins over the default.
+	l = newLimiter(Quota{AnswersPerSec: 0.25, AnswerBurst: 4}, clk.now)
+	mustAllow(t, l, 4)
+	if wait := mustThrottle(t, l, 4, "answers"); wait != 16*time.Second {
+		t.Fatalf("RetryAfter = %s, want 16s for 4 answers at 0.25/s", wait)
+	}
+}
+
+func TestQuotaErrorIsAndAs(t *testing.T) {
+	err := error(&QuotaError{Tenant: "alpha", Resource: "answers", RetryAfter: 3 * time.Second})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatal("QuotaError does not match ErrQuotaExceeded")
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.RetryAfter != 3*time.Second || qe.Resource != "answers" {
+		t.Fatalf("errors.As: %+v", qe)
+	}
+	if errors.Is(errors.New("other"), ErrQuotaExceeded) {
+		t.Fatal("unrelated error matched ErrQuotaExceeded")
+	}
+}
