@@ -25,6 +25,7 @@ import (
 	"github.com/congestedclique/cliqueapsp/internal/experiments"
 	"github.com/congestedclique/cliqueapsp/internal/registry"
 	"github.com/congestedclique/cliqueapsp/store"
+	"github.com/congestedclique/cliqueapsp/tier"
 )
 
 func main() {
@@ -86,6 +87,11 @@ func main() {
 			fatal(err)
 		}
 		report.Store = sb
+		tb, err := benchTier(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		report.Tier = tb
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -110,11 +116,10 @@ func main() {
 // row codec rather than fixed overheads, small enough to keep CI fast.
 const storeBenchN = 1024
 
-// benchStore times the snapshot codec on one synthetic n=1024 snapshot so
-// persistence cost lands in the perf trajectory alongside the algorithms.
-// The distance entries are deterministic filler: the codec's cost is pure
-// streaming and does not depend on the values.
-func benchStore(seed int64) (*experiments.StoreBench, error) {
+// benchSnapshot builds the deterministic synthetic n=1024 snapshot both
+// persistence benchmarks share. The distance entries are filler: codec and
+// row-read costs are pure streaming and do not depend on the values.
+func benchSnapshot(seed int64) (*store.Snapshot, error) {
 	g := cliqueapsp.RandomGraph(storeBenchN, 100, seed)
 	dist, err := cliqueapsp.DistancesFromRows(storeBenchN, func(u int, dst []int64) error {
 		for v := range dst {
@@ -125,7 +130,7 @@ func benchStore(seed int64) (*experiments.StoreBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := &store.Snapshot{
+	return &store.Snapshot{
 		Version:     1,
 		Algorithm:   "bench",
 		FactorBound: 1,
@@ -134,6 +139,15 @@ func benchStore(seed int64) (*experiments.StoreBench, error) {
 		Engine:      cliqueapsp.EngineVersion,
 		Graph:       g,
 		Distances:   dist,
+	}, nil
+}
+
+// benchStore times the snapshot codec on one synthetic n=1024 snapshot so
+// persistence cost lands in the perf trajectory alongside the algorithms.
+func benchStore(seed int64) (*experiments.StoreBench, error) {
+	snap, err := benchSnapshot(seed)
+	if err != nil {
+		return nil, err
 	}
 
 	buf := bytes.NewBuffer(make([]byte, 0, 8*storeBenchN*storeBenchN+64*1024))
@@ -163,6 +177,75 @@ func benchStore(seed int64) (*experiments.StoreBench, error) {
 		DecodeNS:   decodeNS,
 		EncodeMBps: mbps(encodeNS),
 		DecodeMBps: mbps(decodeNS),
+	}, nil
+}
+
+// tierCacheRows is the hot-row cache bound benchTier opens its reader with:
+// the ccserve default, and well under storeBenchN so the cold sweep below
+// never gets an accidental cache hit.
+const tierCacheRows = 64
+
+// benchTier times the disk-tier read path on the same synthetic snapshot:
+// one cold sweep over all N rows (every read a miss: pread + row decode),
+// then a burst of lookups that all land in the hot-row cache. The pair
+// brackets a cold tenant's serving cost — compare cold_mb_per_s with the
+// store decode throughput to see what a row read saves over a full decode.
+func benchTier(seed int64) (*experiments.TierBench, error) {
+	snap, err := benchSnapshot(seed)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "ccbench-tier-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Save("bench", snap); err != nil {
+		return nil, err
+	}
+	r, err := tier.NewStore(d).OpenCold("bench", snap.Version, tierCacheRows)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	start := time.Now()
+	for u := 0; u < storeBenchN; u++ {
+		if _, err := r.Row(u); err != nil {
+			return nil, err
+		}
+	}
+	coldNS := time.Since(start).Nanoseconds()
+
+	// The sweep left the last tierCacheRows rows resident; hammer those.
+	const hits = 1 << 18
+	start = time.Now()
+	for i := 0; i < hits; i++ {
+		if _, err := r.Row(storeBenchN - 1 - i%tierCacheRows); err != nil {
+			return nil, err
+		}
+	}
+	hitNS := time.Since(start).Nanoseconds()
+
+	perSec := func(count int, ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return float64(count) / (float64(ns) / 1e9)
+	}
+	return &experiments.TierBench{
+		N:            storeBenchN,
+		CacheRows:    tierCacheRows,
+		ColdNS:       coldNS,
+		ColdRowsPerS: perSec(storeBenchN, coldNS),
+		ColdMBps:     float64(storeBenchN) * 8 * storeBenchN / 1e6 / (float64(coldNS) / 1e9),
+		Hits:         hits,
+		HitNS:        hitNS,
+		HitsPerS:     perSec(hits, hitNS),
 	}, nil
 }
 

@@ -43,6 +43,17 @@
 // rehydration activity is visible in /v1/stats under manager.restored,
 // manager.cold_hits, manager.persists and friends.
 //
+// Persistence also enables memory-tiered serving (-coldcache, on by
+// default): when the -maxtotaln budget fills, idle tenants are DEMOTED to
+// the cold tier — they stay hosted and keep answering, reading snapshot
+// rows straight off disk through a bounded hot-row cache (-coldcache rows
+// of 8n bytes each) — instead of being evicted; a restart with more
+// persisted state than budget likewise brings tenants up cold with zero
+// full-snapshot decodes. A tenant's tier shows as "hot"/"cold" in
+// /v1/graphs and its stats; demotions, cold serves and row-cache traffic
+// appear in /v1/stats under manager.demotions, manager.cold_serves and
+// manager.row_cache_*.
+//
 // With -keys the server authenticates every route except /healthz via
 // "Authorization: Bearer <key>": the file's admin key may do everything
 // (and alone may create/delete tenants), a per-tenant key only its own
@@ -91,6 +102,7 @@ func main() {
 		seed         = flag.Int64("seed", 0, "pin the rebuild seed (0 = engine-derived per rebuild)")
 		graphFile    = flag.String("graph", "", "preload the default tenant's graph (ccgen format) before serving")
 		dataDir      = flag.String("datadir", "", "persist published snapshots here and restore the fleet on start (empty = no persistence)")
+		coldCache    = flag.Int("coldcache", 64, "hot-row cache rows per cold (disk-tier) tenant; with -datadir, memory pressure demotes idle tenants to serving rows from disk through this cache instead of evicting them (0 = tiering off)")
 		keysFile     = flag.String("keys", "", "JSON key file enabling auth: admin + per-tenant Bearer keys and quotas; SIGHUP reloads it (empty = open server)")
 		keepVers     = flag.Int("keepversions", 2, "snapshot versions kept per tenant in -datadir before GC")
 		maxN         = flag.Int("maxn", 4096, "largest accepted graph (nodes)")
@@ -133,6 +145,7 @@ func main() {
 		maxGraphs:     *maxGraphs,
 		maxTotalNodes: *maxTotalN,
 		snapshots:     snapshots,
+		coldCacheRows: *coldCache,
 		keys:          keys,
 		base: oracle.Config{
 			Algorithm:    cliqueapsp.Algorithm(*alg),
@@ -195,8 +208,8 @@ func main() {
 		if keys != nil {
 			auth = *keysFile
 		}
-		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s, keys=%s)",
-			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist, auth)
+		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s, coldcache=%d, keys=%s)",
+			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist, *coldCache, auth)
 		errc <- srv.ListenAndServe()
 	}()
 

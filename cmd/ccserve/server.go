@@ -17,6 +17,7 @@ import (
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/oracle"
 	"github.com/congestedclique/cliqueapsp/store"
+	"github.com/congestedclique/cliqueapsp/tier"
 )
 
 // defaultTenant is the pinned tenant behind the single-graph /v1/* routes;
@@ -42,6 +43,7 @@ type serverConfig struct {
 	maxGraphs     int        // most hosted graphs (0 = unlimited)
 	maxTotalNodes int        // summed node budget across graphs (0 = unlimited)
 	snapshots     *store.Dir // nil = no persistence (-datadir unset)
+	coldCacheRows int        // hot-row cache rows per cold tenant (0 = tiering off)
 	keys          *keyring   // nil = open server (-keys unset)
 	base          oracle.Config
 	logf          func(format string, args ...any)
@@ -119,6 +121,14 @@ func newServer(cfg serverConfig) (*server, error) {
 			if err != nil {
 				logf("tenant %q persist v%d failed: %v", name, version, err)
 			}
+		}
+		if cfg.coldCacheRows > 0 {
+			// Tiered serving: memory pressure demotes idle tenants to serving
+			// snapshot rows straight off disk (bounded by the hot-row cache)
+			// instead of dropping them, and a tight-budget restart brings the
+			// fleet up cold with zero O(n²) decodes.
+			mcfg.Cold = tier.NewStore(cfg.snapshots)
+			mcfg.ColdCacheRows = cfg.coldCacheRows
 		}
 	}
 	s.mgr = oracle.NewManager(mcfg)
@@ -228,6 +238,11 @@ func (s *server) fail(w http.ResponseWriter, status int, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(quota.RetryAfter)))
 	case errors.Is(err, oracle.ErrOverCapacity):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, oracle.ErrColdRead):
+		// A disk-tier read failed mid-query: server-side fault, retryable —
+		// the tenant keeps serving and nothing is cached poisoned. Without
+		// this mapping the query handlers would misreport it as a 400.
+		status = http.StatusInternalServerError
 	case errors.As(err, &maxBytes):
 		// MaxBytesReader trips mid-decode, so without this mapping a body
 		// over -maxbody would misreport as a 400 "bad request".
@@ -648,12 +663,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // tenantSummary is one row of the /v1/graphs listing. Evicted marks a
 // tenant that is not currently hosted but has persisted snapshots — the
-// next query on it rehydrates it from disk.
+// next query on it rehydrates it from disk. Tier reports where the rows
+// live: "hot" (resident matrix), "cold" (disk behind the hot-row cache —
+// both for hosted demoted tenants and for evicted-but-persisted ones,
+// whose next query serves from disk either way).
 type tenantSummary struct {
 	Name      string `json:"name"`
 	Pinned    bool   `json:"pinned"`
 	Ready     bool   `json:"ready"`
 	Evicted   bool   `json:"evicted,omitempty"`
+	Tier      string `json:"tier,omitempty"`
 	Version   uint64 `json:"version"`
 	Algorithm string `json:"algorithm"`
 	N         int    `json:"n"`
@@ -665,6 +684,7 @@ func summarize(ts oracle.TenantStats) tenantSummary {
 		Name:      ts.Name,
 		Pinned:    ts.Pinned,
 		Ready:     ts.Oracle.Version > 0,
+		Tier:      ts.Tier,
 		Version:   ts.Oracle.Version,
 		Algorithm: ts.Oracle.Algorithm,
 		N:         ts.Oracle.GraphN,
@@ -710,7 +730,7 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				if onDisk {
-					out.Graphs = append(out.Graphs, tenantSummary{Name: name, Evicted: true})
+					out.Graphs = append(out.Graphs, tenantSummary{Name: name, Evicted: true, Tier: "cold"})
 				}
 			}
 			sort.Slice(out.Graphs, func(i, j int) bool { return out.Graphs[i].Name < out.Graphs[j].Name })
@@ -867,7 +887,7 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 				if onDisk {
 					// Evicted but persisted: the tenant still exists (the
 					// next query rehydrates it).
-					s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true})
+					s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true, Tier: "cold"})
 					return
 				}
 				s.fail(w, http.StatusInternalServerError, err)
@@ -915,7 +935,7 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 			// cannot see it), and a 404 here would steer clients into a
 			// destructive re-create.
 			if onDisk, perr := s.snapshotOnDisk(name); perr == nil && onDisk {
-				s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true})
+				s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true, Tier: "cold"})
 				return
 			}
 		}

@@ -36,6 +36,26 @@ type StoreBench struct {
 	DecodeMBps float64 `json:"decode_mb_per_s"`
 }
 
+// TierBench reports the disk-tier read path's throughput over one persisted
+// snapshot: cold row reads (a pread + row decode per distinct source) and
+// hot-row cache hits (pure in-memory lookups). Together with StoreBench it
+// brackets what a cold tenant costs relative to a full snapshot decode.
+// Filled by ccbench -json (the cmd drives the tier package; this package
+// only carries the shape).
+type TierBench struct {
+	N         int `json:"n"`
+	CacheRows int `json:"cache_rows"`
+	// ColdNS is the wall time of reading every one of the N distinct rows
+	// once (cache capacity < N, so each is a disk read).
+	ColdNS       int64   `json:"cold_ns"`
+	ColdRowsPerS float64 `json:"cold_rows_per_s"`
+	ColdMBps     float64 `json:"cold_mb_per_s"`
+	// HitNS is the wall time of Hits lookups that all land in the cache.
+	Hits     int     `json:"hits"`
+	HitNS    int64   `json:"hit_ns"`
+	HitsPerS float64 `json:"hits_per_s"`
+}
+
 // JSONReport is the top-level document: the suite configuration and every
 // experiment that ran.
 type JSONReport struct {
@@ -46,6 +66,7 @@ type JSONReport struct {
 	Sizes       []int            `json:"sizes"`
 	Experiments []JSONExperiment `json:"experiments"`
 	Store       *StoreBench      `json:"store,omitempty"`
+	Tier        *TierBench       `json:"tier,omitempty"`
 }
 
 // RunJSON executes the selected experiments and assembles the report,

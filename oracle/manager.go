@@ -11,7 +11,13 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/store"
+	"github.com/congestedclique/cliqueapsp/tier"
 )
+
+// DefaultColdCacheRows is the per-tenant hot-row cache bound used when
+// ManagerConfig.ColdCacheRows is zero: 64 rows of 8·n bytes each — half a
+// megabyte at n=1024, next to the 8 MB a hot tenant of that size holds.
+const DefaultColdCacheRows = 64
 
 var (
 	// ErrTenantExists is returned by Create when the name is taken.
@@ -59,6 +65,24 @@ type ManagerConfig struct {
 	// save error) and any failure to delete a tenant's saved snapshots
 	// (version 0).
 	OnPersist func(name string, version uint64, err error)
+	// Cold, when non-nil (alongside Store), enables tiered serving:
+	// node-budget evictions DEMOTE idle persisted tenants to cold
+	// (disk-backed) serving instead of removing them, and restores or
+	// rehydrations without budget headroom come up cold — zero O(n²)
+	// decodes — instead of evicting their way in hot.
+	Cold ColdOpener
+	// ColdCacheRows bounds every cold tenant's hot-row cache in rows (each
+	// row is 8·n bytes); 0 means DefaultColdCacheRows. It is also the node
+	// budget a cold tenant is charged — min(ColdCacheRows, n) instead of n —
+	// because resident rows, not graph size, are what a cold tenant keeps
+	// in memory.
+	ColdCacheRows int
+}
+
+// ColdOpener opens one persisted snapshot version for disk-tier serving;
+// *tier.Store (the store.Dir adapter) is the canonical implementation.
+type ColdOpener interface {
+	OpenCold(tenant string, version uint64, cacheRows int) (*tier.Reader, error)
 }
 
 // SnapshotStore is the persistence surface a Manager drives; *store.Dir is
@@ -131,6 +155,9 @@ type Manager struct {
 	coldHits        atomic.Uint64
 	rehydrateErrors atomic.Uint64
 	throttled       atomic.Uint64 // quota rejections across all tenants, ever
+	demotions       atomic.Uint64 // hot tenants swapped to cold serving
+	promotions      atomic.Uint64 // cold tenants decoded back to hot
+	fullDecodes     atomic.Uint64 // complete O(n²) snapshot decodes (Store.Load)
 
 	// hydrating singleflights rehydrations per tenant name so concurrent
 	// cold hits do one disk load and every caller returns a serving tenant.
@@ -291,7 +318,9 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	}
 	var victims []*Tenant
 	if m.cfg.MaxGraphs > 0 && len(m.tenants) >= m.cfg.MaxGraphs {
-		victims = m.evictLocked(len(m.tenants)-m.cfg.MaxGraphs+1, 0, nil)
+		// Slot pressure only: a demotion keeps its tenant hosted, so the
+		// plan can never contain one here.
+		victims, _ = m.evictLocked(len(m.tenants)-m.cfg.MaxGraphs+1, 0, nil)
 		if len(m.tenants) >= m.cfg.MaxGraphs {
 			m.mu.Unlock()
 			m.drain(victims)
@@ -458,13 +487,28 @@ func (m *Manager) removeLocked(t *Tenant) {
 	m.totalNodes -= int(t.nodes.Load())
 }
 
-// evictLocked removes the LRU victims needed to free count tenant slots and
-// freeNodes of node budget, skipping pinned tenants, tenants with a rebuild
-// in flight (not idle), and keep. The plan is computed first: if the goal is
-// unattainable nothing is evicted (a doomed admission must not destroy
-// tenants on its way to ErrOverCapacity). It returns the victims for the
-// caller to drain outside the lock.
-func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
+// demotion is one planned tier demotion: t stays hosted, keeps serving
+// version v, but swaps its resident snapshot for a cold reader; its node
+// charge is retagged to cc under the manager lock at plan time.
+type demotion struct {
+	t  *Tenant
+	v  uint64
+	cc int
+}
+
+// evictLocked reclaims count tenant slots and freeNodes of node budget from
+// LRU victims, skipping pinned tenants, tenants with a rebuild in flight
+// (not idle), and keep. With tiered serving configured, node pressure
+// prefers DEMOTING a hot victim — it stays hosted and keeps answering, now
+// from disk at a min(ColdCacheRows, n) charge — over removing it; slot
+// pressure always removes (a demotion frees no slot), and if demotions
+// alone cannot reach the goal the plan escalates to removals before giving
+// up. The plan is computed first: if the goal is unattainable nothing is
+// touched (a doomed admission must not destroy tenants on its way to
+// ErrOverCapacity). Removed victims are returned for the caller to drain
+// and planned demotions for the caller to drainDemotes, both outside the
+// lock.
+func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) ([]*Tenant, []demotion) {
 	candidates := make([]*Tenant, 0, len(m.tenants))
 	for _, t := range m.tenants {
 		if t == keep || t.cfg.Pinned {
@@ -478,19 +522,16 @@ func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
 	sort.Slice(candidates, func(i, j int) bool {
 		return candidates[i].lastUsed.Load() < candidates[j].lastUsed.Load()
 	})
-	var victims []*Tenant
-	freed := 0
-	for _, t := range candidates {
-		if len(victims) >= count && freed >= freeNodes {
-			break
-		}
-		victims = append(victims, t)
-		freed += int(t.nodes.Load())
+	removes, demotes, ok := m.planEvictLocked(candidates, count, freeNodes, m.cfg.Cold != nil)
+	if !ok && m.cfg.Cold != nil {
+		// Demotion gains (n−cc per victim) were not enough; a plan of plain
+		// removals frees strictly more per victim.
+		removes, demotes, ok = m.planEvictLocked(candidates, count, freeNodes, false)
 	}
-	if len(victims) < count || freed < freeNodes {
-		return nil
+	if !ok {
+		return nil, nil
 	}
-	for _, t := range victims {
+	for _, t := range removes {
 		m.removeLocked(t)
 		m.evictions++
 		t.evicted.Store(true)
@@ -501,7 +542,129 @@ func (m *Manager) evictLocked(count, freeNodes int, keep *Tenant) []*Tenant {
 			m.evictedCfg[t.name] = t.cfg
 		}
 	}
-	return victims
+	for _, d := range demotes {
+		// Retag the charge now, under the lock, so the admission that
+		// triggered this eviction sees the budget freed atomically; the
+		// actual cold swap happens in drainDemotes (it does disk I/O). If
+		// the swap then fails, drainDemotes falls back to a full eviction so
+		// the freed memory materializes either way.
+		m.totalNodes -= int(d.t.nodes.Load()) - d.cc
+		d.t.nodes.Store(int64(d.cc))
+	}
+	return removes, demotes
+}
+
+// planEvictLocked walks LRU-ordered candidates and plans which to remove
+// and (when allowDemote) which to demote, without touching anything.
+func (m *Manager) planEvictLocked(candidates []*Tenant, count, freeNodes int, allowDemote bool) (removes []*Tenant, demotes []demotion, ok bool) {
+	freed := 0
+	for _, t := range candidates {
+		if len(removes) >= count && freed >= freeNodes {
+			break
+		}
+		n := int(t.nodes.Load())
+		if len(removes) < count {
+			// Slot pressure: only a removal frees a slot.
+			removes = append(removes, t)
+			freed += n
+			continue
+		}
+		if allowDemote {
+			if v, cc, can := m.demotableLocked(t); can && n-cc > 0 {
+				demotes = append(demotes, demotion{t: t, v: v, cc: cc})
+				freed += n - cc
+				continue
+			}
+		}
+		removes = append(removes, t)
+		freed += n
+	}
+	return removes, demotes, len(removes) >= count && freed >= freeNodes
+}
+
+// demotableLocked reports whether t can be demoted to cold serving: tiered
+// serving on, a hot snapshot actually serving (its version is what the
+// cold reader must find persisted — verified by drainDemotes when it opens
+// the file, since disk cannot be probed under the lock).
+func (m *Manager) demotableLocked(t *Tenant) (version uint64, cc int, ok bool) {
+	if m.cfg.Cold == nil || m.cfg.Store == nil {
+		return 0, 0, false
+	}
+	if t.o.coldReader() != nil {
+		return 0, 0, false // already cold
+	}
+	version = t.o.Version()
+	if version == 0 {
+		return 0, 0, false // nothing serving, nothing to keep: removal territory
+	}
+	return version, m.coldCharge(int(t.nodes.Load())), true
+}
+
+// cacheRows resolves the configured per-tenant hot-row cache bound.
+func (m *Manager) cacheRows() int {
+	if m.cfg.ColdCacheRows > 0 {
+		return m.cfg.ColdCacheRows
+	}
+	return DefaultColdCacheRows
+}
+
+// coldCharge is the node budget a cold n-node tenant is charged: one unit
+// per potentially resident cache row, capped at the graph size. A hot
+// tenant holds n rows of 8·n bytes; a cold one holds at most cacheRows of
+// them, so the same per-row unit keeps the budget meaning "resident rows".
+func (m *Manager) coldCharge(n int) int {
+	if r := m.cacheRows(); r < n {
+		return r
+	}
+	return n
+}
+
+// drainDemotes performs planned demotions outside the manager lock: open
+// the cold reader (sidecar or one header pass — never the row block) and
+// swap it into the victim's oracle. A victim whose snapshot cannot be
+// opened cold falls back to a full eviction, so the memory the plan already
+// freed from the budget genuinely materializes.
+func (m *Manager) drainDemotes(demotes []demotion) {
+	for _, d := range demotes {
+		r, err := m.cfg.Cold.OpenCold(d.t.name, d.v, m.cacheRows())
+		if err == nil {
+			if derr := d.t.o.demote(r); derr != nil {
+				r.Close()
+				err = derr
+			}
+		}
+		if err == nil {
+			m.demotions.Add(1)
+			continue
+		}
+		if errors.Is(err, ErrSuperseded) || errors.Is(err, ErrClosed) {
+			// The tenant moved on between plan and swap — a new SetGraph
+			// re-admitted it at full charge, a newer build published, or a
+			// Delete closed it. Each of those settled the budget through its
+			// own path; nothing to undo.
+			continue
+		}
+		m.evictNow(d.t, d.cc)
+	}
+}
+
+// evictNow fully evicts t after its planned demotion failed, unless the
+// tenant moved on meanwhile (re-admitted at a different charge, re-created,
+// or deleted) — in that case whoever moved it owns the budget now.
+func (m *Manager) evictNow(t *Tenant, cc int) {
+	m.mu.Lock()
+	if m.tenants[t.name] != t || int(t.nodes.Load()) != cc {
+		m.mu.Unlock()
+		return
+	}
+	m.removeLocked(t)
+	m.evictions++
+	t.evicted.Store(true)
+	if m.cfg.Store != nil {
+		m.evictedCfg[t.name] = t.cfg
+	}
+	m.mu.Unlock()
+	m.drain([]*Tenant{t})
 }
 
 // drain closes evicted tenants' oracles outside the manager lock and fires
@@ -569,12 +732,14 @@ func (m *Manager) admitNodes(t *Tenant, n int) (prev int, err error) {
 	prev = int(t.nodes.Load())
 	delta := n - prev
 	var victims []*Tenant
+	var demotes []demotion
 	if m.cfg.MaxTotalNodes > 0 && m.totalNodes+delta > m.cfg.MaxTotalNodes {
-		victims = m.evictLocked(0, m.totalNodes+delta-m.cfg.MaxTotalNodes, t)
+		victims, demotes = m.evictLocked(0, m.totalNodes+delta-m.cfg.MaxTotalNodes, t)
 		if m.totalNodes+delta > m.cfg.MaxTotalNodes {
 			inUse := m.totalNodes - prev
 			m.mu.Unlock()
 			m.drain(victims)
+			m.drainDemotes(demotes)
 			return 0, fmt.Errorf("%w: %d nodes requested over a budget of %d (%d in use)",
 				ErrOverCapacity, n, m.cfg.MaxTotalNodes, inUse)
 		}
@@ -583,6 +748,7 @@ func (m *Manager) admitNodes(t *Tenant, n int) (prev int, err error) {
 	t.nodes.Store(int64(n))
 	m.mu.Unlock()
 	m.drain(victims)
+	m.drainDemotes(demotes)
 	return prev, nil
 }
 
@@ -621,6 +787,16 @@ func (m *Manager) persist(name string, eps float64, seedPinned bool, p Published
 	if m.cfg.OnPersist != nil {
 		m.cfg.OnPersist(name, p.Version, err)
 	}
+}
+
+// loadSnapshot is the manager's only route to Store.Load, so every complete
+// O(n²) snapshot decode is counted — the cost the cold tier exists to avoid.
+func (m *Manager) loadSnapshot(name string) (*store.Snapshot, error) {
+	s, err := m.cfg.Store.Load(name)
+	if err == nil {
+		m.fullDecodes.Add(1)
+	}
+	return s, err
 }
 
 // resultFromSnapshot rebuilds the Result a persisted snapshot was published
@@ -673,9 +849,16 @@ func (m *Manager) rehydrate(name string) (*Tenant, error) {
 
 // rehydrateOnce is one rehydration attempt: re-create the tenant with the
 // persisted provenance (algorithm/eps/seed) as its config and publish the
-// snapshot without an engine run.
+// snapshot without an engine run. With tiered serving configured and no
+// budget headroom for the full matrix, the tenant comes back cold instead —
+// a sidecar read and an open file, not an O(n²) decode.
 func (m *Manager) rehydrateOnce(name string) (*Tenant, error) {
-	snap, err := m.cfg.Store.Load(name)
+	if m.cfg.Cold != nil {
+		if t, err, handled := m.rehydrateCold(name); handled {
+			return t, err
+		}
+	}
+	snap, err := m.loadSnapshot(name)
 	if err != nil {
 		// A name the store's alphabet rejects can never have been persisted:
 		// that is an absent tenant, not a broken rehydration.
@@ -718,6 +901,107 @@ func (m *Manager) rehydrateOnce(name string) (*Tenant, error) {
 	}
 	m.coldHits.Add(1)
 	return t, nil
+}
+
+// openNewestCold opens a tier reader over name's newest persisted version.
+// Any failure returns nil: the caller falls back to the decode path, which
+// produces the canonical error (or a hot restore).
+func (m *Manager) openNewestCold(name string) *tier.Reader {
+	vs, err := m.cfg.Store.Versions(name)
+	if err != nil || len(vs) == 0 {
+		return nil
+	}
+	r, err := m.cfg.Cold.OpenCold(name, vs[len(vs)-1], m.cacheRows())
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// rehydrateCold tries to bring name back serving cold. handled=false falls
+// through to the decode path: nothing cold-openable, or enough budget
+// headroom that a hot restore serves better.
+func (m *Manager) rehydrateCold(name string) (*Tenant, error, bool) {
+	r := m.openNewestCold(name)
+	if r == nil {
+		return nil, nil, false
+	}
+	if m.hasHeadroom(r.N()) {
+		r.Close()
+		return nil, nil, false
+	}
+	m.mu.Lock()
+	tc, remembered := m.evictedCfg[name]
+	m.mu.Unlock()
+	if remembered {
+		tc.AdoptPersisted = true // never wipe the files being rehydrated
+	} else {
+		tc = tenantConfigFromIndex(r.Index())
+	}
+	t, err := m.Create(name, tc)
+	if err != nil {
+		r.Close()
+		if errors.Is(err, ErrTenantExists) {
+			// Raced an explicit Create; serve whatever won.
+			t, err = m.Peek(name)
+			return t, err, true
+		}
+		m.rehydrateErrors.Add(1)
+		return nil, err, true
+	}
+	if err := m.restoreColdInto(t, r); err != nil {
+		r.Close()
+		if errors.Is(err, ErrSuperseded) {
+			// Someone registered a graph on the tenant between Create and
+			// restore; their live intent wins over the disk state.
+			return t, nil, true
+		}
+		m.dropTenant(t)
+		m.rehydrateErrors.Add(1)
+		return nil, fmt.Errorf("oracle: rehydrating %q: %w", name, err), true
+	}
+	m.coldHits.Add(1)
+	return t, nil, true
+}
+
+// restoreColdInto admits the tenant at its cold charge and publishes the
+// reader as a cold serving snapshot. On success the oracle owns r.
+func (m *Manager) restoreColdInto(t *Tenant, r *tier.Reader) error {
+	t.setMu.Lock()
+	defer t.setMu.Unlock()
+	prev, err := m.admitNodes(t, m.coldCharge(r.N()))
+	if err != nil {
+		return err
+	}
+	if err := t.o.restoreCold(r); err != nil {
+		m.rollbackNodes(t, prev)
+		return err
+	}
+	return nil
+}
+
+// hasHeadroom reports whether an n-node hot restore fits the node budget
+// without evicting or demoting anyone — the tier choice at restore time:
+// decode hot while memory is free, serve cold once it is not.
+func (m *Manager) hasHeadroom(n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cfg.MaxTotalNodes == 0 || m.totalNodes+n <= m.cfg.MaxTotalNodes
+}
+
+// tenantConfigFromIndex is tenantConfigFromSnapshot over a row-index
+// sidecar: the same provenance, recovered without touching the snapshot's
+// row block.
+func tenantConfigFromIndex(ix store.RowIndex) TenantConfig {
+	tc := TenantConfig{
+		Algorithm:      cliqueapsp.Algorithm(ix.Algorithm),
+		Eps:            ix.Eps,
+		AdoptPersisted: true,
+	}
+	if ix.SeedPinned {
+		tc.Seed = ix.Seed
+	}
+	return tc
 }
 
 // tenantConfigFromSnapshot turns persisted provenance back into the tenant
@@ -796,44 +1080,137 @@ func (m *Manager) RestoreAll(report func(tenant string, err error)) (restored, f
 		if terr == nil && t.Ready() {
 			continue
 		}
-		snap, lerr := m.cfg.Store.Load(name)
-		if lerr != nil {
-			if errors.Is(lerr, store.ErrNotFound) {
-				continue // an empty tenant directory is not a failure
-			}
-			m.restoreErrors.Add(1)
-			failed++
-			report(name, lerr)
-			continue
-		}
-		created := false
-		if errors.Is(terr, ErrTenantNotFound) {
-			t, terr = m.Create(name, tenantConfigFromSnapshot(snap))
-			created = terr == nil
-		}
-		if terr != nil {
-			m.restoreErrors.Add(1)
-			failed++
-			report(name, terr)
-			continue
-		}
-		if rerr := m.restoreInto(t, snap); rerr != nil {
-			if errors.Is(rerr, ErrSuperseded) {
-				continue // a live upload beat the restore; its build wins
-			}
-			if created {
-				m.dropTenant(t)
-			}
+		switch outcome, rerr := m.restoreOne(name, t, terr); outcome {
+		case restoreOK:
+			m.restored.Add(1)
+			restored++
+			report(name, nil)
+		case restoreSkip:
+			// Nothing persisted, or a live upload beat the restore.
+		case restoreFail:
 			m.restoreErrors.Add(1)
 			failed++
 			report(name, rerr)
-			continue
 		}
-		m.restored.Add(1)
-		restored++
-		report(name, nil)
 	}
 	return restored, failed, nil
+}
+
+// Outcomes of one RestoreAll tenant attempt.
+const (
+	restoreOK = iota
+	restoreSkip
+	restoreFail
+)
+
+// restoreOne restores one persisted tenant, cold when tiered serving is on
+// and the node budget has no headroom for the full matrix, hot otherwise.
+// The tier decision happens BEFORE any decode — the reader's index carries
+// the graph size — so a tight-budget boot brings the whole fleet up with
+// zero O(n²) decodes.
+func (m *Manager) restoreOne(name string, t *Tenant, terr error) (int, error) {
+	if m.cfg.Cold != nil {
+		if outcome, rerr, handled := m.restoreOneCold(name, t, terr); handled {
+			return outcome, rerr
+		}
+	}
+	snap, lerr := m.loadSnapshot(name)
+	if lerr != nil {
+		if errors.Is(lerr, store.ErrNotFound) {
+			return restoreSkip, nil // an empty tenant directory is not a failure
+		}
+		return restoreFail, lerr
+	}
+	created := false
+	if errors.Is(terr, ErrTenantNotFound) {
+		t, terr = m.Create(name, tenantConfigFromSnapshot(snap))
+		created = terr == nil
+	}
+	if terr != nil {
+		return restoreFail, terr
+	}
+	if rerr := m.restoreInto(t, snap); rerr != nil {
+		if errors.Is(rerr, ErrSuperseded) {
+			return restoreSkip, nil // a live upload beat the restore; its build wins
+		}
+		if created {
+			m.dropTenant(t)
+		}
+		return restoreFail, rerr
+	}
+	return restoreOK, nil
+}
+
+// restoreOneCold is restoreOne's cold branch. handled=false falls through
+// to the decode path: nothing cold-openable (let it produce the canonical
+// error), or enough headroom that the tenant deserves the hot tier.
+func (m *Manager) restoreOneCold(name string, t *Tenant, terr error) (int, error, bool) {
+	r := m.openNewestCold(name)
+	if r == nil {
+		return 0, nil, false
+	}
+	if m.hasHeadroom(r.N()) {
+		r.Close()
+		return 0, nil, false
+	}
+	created := false
+	if errors.Is(terr, ErrTenantNotFound) {
+		t, terr = m.Create(name, tenantConfigFromIndex(r.Index()))
+		created = terr == nil
+	}
+	if terr != nil {
+		r.Close()
+		return restoreFail, terr, true
+	}
+	if rerr := m.restoreColdInto(t, r); rerr != nil {
+		r.Close()
+		if errors.Is(rerr, ErrSuperseded) {
+			return restoreSkip, nil, true
+		}
+		if created {
+			m.dropTenant(t)
+		}
+		return restoreFail, rerr, true
+	}
+	return restoreOK, nil, true
+}
+
+// Promote decodes the newest persisted snapshot of a cold-serving tenant
+// and swaps it in hot, admitting the full n-node charge (which may demote
+// or evict idler tenants). A tenant already hot is a no-op; ErrSuperseded
+// means the serving snapshot moved while the decode ran — the mover's state
+// wins. Promotion is explicit policy, not automatic: sustained traffic is
+// visible in TenantStats (ColdServes, RowCache misses) and the operator —
+// or a layer above — decides who earns the memory back.
+func (m *Manager) Promote(name string) error {
+	t, err := m.Peek(name)
+	if err != nil {
+		return err
+	}
+	r := t.o.coldReader()
+	if r == nil {
+		return nil
+	}
+	snap, err := m.loadSnapshot(name)
+	if err != nil {
+		return fmt.Errorf("oracle: promoting %q: %w", name, err)
+	}
+	if snap.Version != r.Version() {
+		return fmt.Errorf("%w: newest persisted snapshot of %q is v%d, serving v%d",
+			ErrSuperseded, name, snap.Version, r.Version())
+	}
+	t.setMu.Lock()
+	defer t.setMu.Unlock()
+	prev, err := m.admitNodes(t, snap.Graph.N())
+	if err != nil {
+		return err
+	}
+	if err := t.o.promote(snap.Version, snap.Graph, resultFromSnapshot(snap)); err != nil {
+		m.rollbackNodes(t, prev)
+		return err
+	}
+	m.promotions.Add(1)
+	return nil
 }
 
 // SetQuota ensures q is the quota enforced for name, whether the tenant is
@@ -896,6 +1273,24 @@ type ManagerStats struct {
 	// every tenant that ever lived in this manager (per-tenant counters die
 	// with their tenant; this one does not).
 	Throttled uint64 `json:"throttled"`
+	// Demotions counts hot tenants swapped to cold (disk-tier) serving under
+	// memory pressure — evictions that kept their tenant; Promotions counts
+	// cold tenants decoded back to hot serving.
+	Demotions  uint64 `json:"demotions"`
+	Promotions uint64 `json:"promotions"`
+	// FullDecodes counts complete O(n²) snapshot decodes (restores,
+	// rehydrations, promotions) — the cost cold serving exists to avoid. A
+	// tight-budget boot that comes up entirely cold reports zero.
+	FullDecodes uint64 `json:"full_decodes"`
+	// ColdTenants counts hosted tenants currently serving from the disk
+	// tier; ColdServes and the RowCache counters sum those tenants' query
+	// and hot-row cache activity. Summed over hosted tenants only: a
+	// demoted-then-deleted tenant takes its counts with it.
+	ColdTenants       int    `json:"cold_tenants"`
+	ColdServes        uint64 `json:"cold_serves"`
+	RowCacheHits      uint64 `json:"row_cache_hits"`
+	RowCacheMisses    uint64 `json:"row_cache_misses"`
+	RowCacheEvictions uint64 `json:"row_cache_evictions"`
 	// Tenants holds one entry per hosted tenant, sorted by name.
 	Tenants []TenantStats `json:"tenants"`
 }
@@ -906,6 +1301,10 @@ type TenantStats struct {
 	Pinned bool          `json:"pinned"`
 	Nodes  int           `json:"nodes"`
 	Age    time.Duration `json:"age_ns"`
+	// Tier mirrors the oracle's serving tier ("hot", "cold", or "" before
+	// the first snapshot). A cold tenant's Nodes is its cache charge
+	// (min(ColdCacheRows, n)), not its graph size.
+	Tier string `json:"tier,omitempty"`
 	// Quota echoes the enforced quota (absent = unlimited); Throttled
 	// counts this tenant's queries it rejected.
 	Quota     *Quota `json:"quota,omitempty"`
@@ -932,6 +1331,9 @@ func (m *Manager) Stats() ManagerStats {
 		ColdHits:        m.coldHits.Load(),
 		RehydrateErrors: m.rehydrateErrors.Load(),
 		Throttled:       m.throttled.Load(),
+		Demotions:       m.demotions.Load(),
+		Promotions:      m.promotions.Load(),
+		FullDecodes:     m.fullDecodes.Load(),
 	}
 	tenants := make([]*Tenant, 0, len(m.tenants))
 	for _, t := range m.tenants {
@@ -941,7 +1343,17 @@ func (m *Manager) Stats() ManagerStats {
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 	st.Tenants = make([]TenantStats, len(tenants))
 	for i, t := range tenants {
-		st.Tenants[i] = t.Stats()
+		ts := t.Stats()
+		st.Tenants[i] = ts
+		st.ColdServes += ts.Oracle.ColdServes
+		if ts.Tier == "cold" {
+			st.ColdTenants++
+			if rc := ts.Oracle.RowCache; rc != nil {
+				st.RowCacheHits += rc.Hits
+				st.RowCacheMisses += rc.Misses
+				st.RowCacheEvictions += rc.Evictions
+			}
+		}
 	}
 	return st
 }
@@ -1088,6 +1500,7 @@ func (t *Tenant) Stats() TenantStats {
 		Throttled: t.throttled.Load(),
 		Oracle:    t.o.Stats(),
 	}
+	ts.Tier = ts.Oracle.Tier
 	// Read through the limiter, not t.cfg: the limiter pointer is atomic
 	// while cfg.Quota is only synchronized with eviction's copy.
 	if l := t.lim.Load(); l != nil {

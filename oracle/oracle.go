@@ -27,6 +27,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/tier"
 )
 
 // Unreachable is the Distance value reported for pairs with no path in the
@@ -42,7 +43,14 @@ var (
 	// has newer state — a serving snapshot, or a SetGraph accepted before
 	// the restore. Persisted versions are not comparable with a fresh
 	// process's SetGraph counter, so live intent always wins over a restore.
+	// Tier swaps (demote/promote) return it when the serving snapshot moved
+	// on while the swap was being prepared.
 	ErrSuperseded = errors.New("oracle: restore superseded by newer state")
+	// ErrColdRead wraps I/O and corruption failures hit while answering a
+	// query from a cold (disk-tier) snapshot. The query failed, the tenant
+	// did not: the snapshot keeps serving and the read is retried on the
+	// next query.
+	ErrColdRead = errors.New("oracle: cold snapshot read failed")
 )
 
 // Config configures an Oracle. The zero value is usable: a private Engine
@@ -162,10 +170,20 @@ type Stats struct {
 	RebuildErrors uint64        `json:"rebuild_errors"`
 	LastRebuild   time.Duration `json:"last_rebuild_ns"`
 	// Restores counts snapshots published by RestoreSnapshot — estimates
-	// served without paying for an engine run.
+	// served without paying for an engine run. Cold restores (restoreCold)
+	// count here too: either way the estimate came from disk, not the engine.
 	Restores uint64 `json:"restores"`
 	// Pending reports whether a rebuild is queued or running.
 	Pending bool `json:"pending"`
+	// Tier reports where the serving snapshot's rows live: "hot" (resident
+	// n×n matrix), "cold" (disk behind the hot-row cache), or "" before the
+	// first snapshot.
+	Tier string `json:"tier,omitempty"`
+	// ColdServes counts queries answered from a cold snapshot — calls that
+	// cost at most a few preads instead of touching a resident matrix.
+	ColdServes uint64 `json:"cold_serves"`
+	// RowCache is the cold snapshot's hot-row cache counters (nil when hot).
+	RowCache *tier.CacheStats `json:"row_cache,omitempty"`
 }
 
 // counters are the oracle's monotonically increasing totals, shared with
@@ -176,6 +194,7 @@ type counters struct {
 	rowsBuilt, rowHits                     atomic.Uint64
 	rebuilds, rebuildErrors                atomic.Uint64
 	restores                               atomic.Uint64
+	coldServes                             atomic.Uint64
 }
 
 // Oracle serves distance and path queries from versioned snapshots rebuilt
@@ -380,6 +399,83 @@ func (o *Oracle) RestoreSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqu
 	return nil
 }
 
+// restoreCold publishes a disk-backed snapshot as the serving state without
+// decoding it: RestoreSnapshot's semantics (pristine oracle only, live
+// intent wins) at tier cost — opening r touched only the sidecar or header,
+// never the O(n²) row block. The oracle takes ownership of r.
+func (o *Oracle) restoreCold(r *tier.Reader) error {
+	v := r.Version()
+	if v == 0 {
+		return fmt.Errorf("oracle: restore version must be ≥ 1")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	if o.graphSet || o.cur.Load() != nil {
+		return fmt.Errorf("%w: cold restore v%d refused (last assigned version %d)", ErrSuperseded, v, o.version)
+	}
+	if o.version < v {
+		o.version = v
+	}
+	o.cur.Store(newColdSnapshot(r, &o.cnt))
+	o.cnt.restores.Add(1)
+	close(o.notify)
+	o.notify = make(chan struct{})
+	return nil
+}
+
+// demote swaps the serving snapshot for a cold one over the same version:
+// the resident matrix, graph, and next-hop rows become unreferenced (freed
+// once in-flight queries finish) while queries keep being answered — now
+// from disk through r. ErrSuperseded means the serving version moved on (or
+// is already cold) while the caller was opening r; the caller keeps the hot
+// snapshot and closes r. On success the oracle takes ownership of r.
+func (o *Oracle) demote(r *tier.Reader) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	cur := o.cur.Load()
+	if cur == nil || cur.cold != nil || cur.version != r.Version() {
+		return fmt.Errorf("%w: demote of v%d does not match serving snapshot", ErrSuperseded, r.Version())
+	}
+	o.cur.Store(newColdSnapshot(r, &o.cnt))
+	return nil
+}
+
+// promote is demote's inverse: swap a cold serving snapshot for the fully
+// decoded hot equivalent of the same version. The oracle takes ownership of
+// g and res; ErrSuperseded means the serving snapshot is no longer that
+// cold version (a build landed, or a concurrent promote won).
+func (o *Oracle) promote(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result) error {
+	if g == nil || res == nil || res.Distances == nil {
+		return fmt.Errorf("oracle: nil graph or result")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	cur := o.cur.Load()
+	if cur == nil || cur.cold == nil || cur.version != version {
+		return fmt.Errorf("%w: promote of v%d does not match serving snapshot", ErrSuperseded, version)
+	}
+	o.cur.Store(newSnapshot(version, g, res, &o.cnt))
+	return nil
+}
+
+// coldReader returns the serving snapshot's tier reader (nil when the
+// snapshot is hot or absent) — the Manager's window into cold residency.
+func (o *Oracle) coldReader() *tier.Reader {
+	if s := o.cur.Load(); s != nil {
+		return s.cold
+	}
+	return nil
+}
+
 // reserveVersions raises the version counter to at least v without
 // publishing anything: future SetGraph calls are assigned versions > v. The
 // Manager uses it when (re-)creating a tenant that has persisted snapshots,
@@ -461,7 +557,14 @@ func (o *Oracle) Dist(u, v int) (DistResult, error) {
 	}
 	o.cnt.distQueries.Add(1)
 	o.cnt.answers.Add(1)
-	return DistResult{Answer: s.answer(u, v), Version: s.version}, nil
+	a, err := s.answer(u, v)
+	if err != nil {
+		return DistResult{}, err
+	}
+	if s.cold != nil {
+		o.cnt.coldServes.Add(1)
+	}
+	return DistResult{Answer: a, Version: s.version}, nil
 }
 
 // Batch answers every pair from one snapshot resolved once at entry, so the
@@ -478,12 +581,19 @@ func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
 			return BatchResult{}, err
 		}
 	}
-	answers := make([]Answer, len(pairs))
-	for i, p := range pairs {
-		answers[i] = s.answer(p.U, p.V)
-	}
 	o.cnt.batchQueries.Add(1)
 	o.cnt.answers.Add(uint64(len(pairs)))
+	answers := make([]Answer, len(pairs))
+	for i, p := range pairs {
+		a, err := s.answer(p.U, p.V)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		answers[i] = a
+	}
+	if s.cold != nil {
+		o.cnt.coldServes.Add(1)
+	}
 	return BatchResult{Version: s.version, Answers: answers}, nil
 }
 
@@ -501,7 +611,11 @@ func (o *Oracle) Path(u, v int) (PathResult, error) {
 	}
 	o.cnt.pathQueries.Add(1)
 	o.cnt.answers.Add(1)
-	return s.path(u, v)
+	res, err := s.path(u, v)
+	if err == nil && s.cold != nil {
+		o.cnt.coldServes.Add(1)
+	}
+	return res, err
 }
 
 // Stats returns the oracle's current counters.
@@ -516,15 +630,23 @@ func (o *Oracle) Stats() Stats {
 		Rebuilds:      o.cnt.rebuilds.Load(),
 		RebuildErrors: o.cnt.rebuildErrors.Load(),
 		Restores:      o.cnt.restores.Load(),
+		ColdServes:    o.cnt.coldServes.Load(),
 	}
 	if s := o.cur.Load(); s != nil {
 		st.Version = s.version
 		st.SnapshotAge = time.Since(s.builtAt)
 		st.GraphN = s.n
-		st.GraphM = s.g.NumEdges()
+		st.GraphM = s.graphM()
 		st.Algorithm = string(s.res.Algorithm)
 		st.FactorBound = s.res.FactorBound
 		st.LastRebuild = s.buildDur
+		if s.cold != nil {
+			st.Tier = "cold"
+			cs := s.cold.Stats()
+			st.RowCache = &cs
+		} else {
+			st.Tier = "hot"
+		}
 	}
 	o.mu.Lock()
 	st.Pending = o.building || o.pending != nil

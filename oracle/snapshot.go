@@ -6,6 +6,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/tier"
 )
 
 // snapshot is one published build: the graph, the engine result, and lazily
@@ -13,20 +14,51 @@ import (
 // immutable after publication; the slots are guarded per-row by sync.Once,
 // so concurrent Path queries build each row at most once and never block
 // each other across rows.
+//
+// A snapshot comes in two tiers. A HOT snapshot holds the full n×n estimate
+// resident (res.Distances) and answers like it always has. A COLD snapshot
+// (cold != nil) holds no distance rows at all: every row read goes through a
+// tier.Reader — one pread behind a bounded hot-row LRU — and the graph
+// itself decodes lazily from the snapshot file only if a Path query needs
+// it. Cold answers are bit-identical to hot ones (same rows, same
+// tie-breaking), they just cost a disk read on a cache miss.
 type snapshot struct {
 	version  uint64
 	builtAt  time.Time
 	buildDur time.Duration
-	g        *cliqueapsp.Graph
-	res      *cliqueapsp.Result
+	g        *cliqueapsp.Graph  // nil when cold: the graph decodes lazily
+	res      *cliqueapsp.Result // cold: provenance only, Distances nil
 	n        int
 	cnt      *counters
+	cold     *tier.Reader // non-nil = rows live on disk behind the row cache
 
+	// Hot next-hop memoization: built at most once per row, no failure mode
+	// (the resident matrix cannot error).
 	rowOnce []sync.Once
 	rows    [][]int
 
 	routerOnce sync.Once
 	router     *cliqueapsp.GreedyRouter
+
+	// Cold next-hop memoization: a row build reads deg(src) distance rows
+	// off disk and can fail, so it is a single-flight memo that retries on
+	// failure instead of a sync.Once that would poison the row forever. The
+	// memoized rows land in the same rows slice the hot path uses.
+	nhMu      sync.Mutex
+	nhFlights map[int]*nhFlight
+	deadOnce  sync.Once
+	deadRow   []int
+
+	crMu    sync.Mutex
+	crouter *cliqueapsp.GreedyRouter
+}
+
+// nhFlight is one in-progress cold next-hop row build; done closes after
+// row/err are set.
+type nhFlight struct {
+	done chan struct{}
+	row  []int
+	err  error
 }
 
 func newSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result, cnt *counters) *snapshot {
@@ -43,6 +75,29 @@ func newSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result, cn
 	}
 }
 
+// newColdSnapshot wraps a tier.Reader as a serving snapshot: provenance
+// comes from the reader's row index, rows come off disk on demand. The
+// reader is owned by the snapshot from here on; it is never explicitly
+// closed while the snapshot may serve (queries racing a swap keep their
+// handle), the file closes when the last reference is collected.
+func newColdSnapshot(r *tier.Reader, cnt *counters) *snapshot {
+	ix := r.Index()
+	return &snapshot{
+		version: ix.Version,
+		builtAt: time.Now(),
+		res: &cliqueapsp.Result{
+			Algorithm:   cliqueapsp.Algorithm(ix.Algorithm),
+			FactorBound: ix.FactorBound,
+			Seed:        ix.Seed,
+		},
+		n:         ix.N,
+		cnt:       cnt,
+		cold:      r,
+		rows:      make([][]int, ix.N),
+		nhFlights: make(map[int]*nhFlight),
+	}
+}
+
 func (s *snapshot) check(u, v int) error {
 	if u < 0 || u >= s.n || v < 0 || v >= s.n {
 		return fmt.Errorf("oracle: pair (%d,%d) out of range for n=%d (snapshot v%d)", u, v, s.n, s.version)
@@ -50,15 +105,28 @@ func (s *snapshot) check(u, v int) error {
 	return nil
 }
 
-func (s *snapshot) answer(u, v int) Answer {
+// answer resolves one pair. Hot snapshots cannot fail; cold ones surface
+// row-read failures wrapped in ErrColdRead.
+func (s *snapshot) answer(u, v int) (Answer, error) {
 	a := Answer{U: u, V: v, Distance: Unreachable}
+	if s.cold != nil {
+		row, err := s.cold.Row(u)
+		if err != nil {
+			return a, fmt.Errorf("%w: %w", ErrColdRead, err)
+		}
+		if d := row[v]; d < cliqueapsp.Inf {
+			a.Distance, a.Reachable = d, true
+		}
+		return a, nil
+	}
 	if s.res.Distances.Reachable(u, v) {
 		a.Distance, a.Reachable = s.res.Distances.At(u, v), true
 	}
-	return a
+	return a, nil
 }
 
 // row returns node u's memoized next-hop row, building it on first use.
+// Hot-only: the resident matrix cannot fail mid-build.
 func (s *snapshot) row(u int) []int {
 	hit := true
 	s.rowOnce[u].Do(func() {
@@ -78,9 +146,93 @@ func (s *snapshot) row(u int) []int {
 	return s.rows[u]
 }
 
+// coldRow returns node u's memoized next-hop row on a cold snapshot,
+// deriving it from disk-backed distance rows (one read per neighbor of u,
+// mostly absorbed by the hot-row cache). Failed builds are not memoized:
+// a transient read error must not poison the row.
+func (s *snapshot) coldRow(u int) ([]int, error) {
+	s.nhMu.Lock()
+	if r := s.rows[u]; r != nil {
+		s.cnt.rowHits.Add(1)
+		s.nhMu.Unlock()
+		return r, nil
+	}
+	if fl, ok := s.nhFlights[u]; ok {
+		s.nhMu.Unlock()
+		<-fl.done
+		if fl.err == nil {
+			s.cnt.rowHits.Add(1)
+		}
+		return fl.row, fl.err
+	}
+	fl := &nhFlight{done: make(chan struct{})}
+	s.nhFlights[u] = fl
+	s.nhMu.Unlock()
+
+	fl.row, fl.err = s.buildColdRow(u)
+
+	s.nhMu.Lock()
+	delete(s.nhFlights, u)
+	if fl.err == nil {
+		s.rows[u] = fl.row
+		s.cnt.rowsBuilt.Add(1)
+	}
+	s.nhMu.Unlock()
+	close(fl.done)
+	return fl.row, fl.err
+}
+
+func (s *snapshot) buildColdRow(u int) ([]int, error) {
+	g, err := s.cold.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return cliqueapsp.NextHopRowFrom(g, u, s.cold.Row)
+}
+
+// dead is an all-dead-ends next-hop row: RouteVia reports ErrNoRoute on it
+// immediately, which coldPath then overrides with the real read error.
+func (s *snapshot) dead() []int {
+	s.deadOnce.Do(func() {
+		d := make([]int, s.n)
+		for i := range d {
+			d[i] = -1
+		}
+		s.deadRow = d
+	})
+	return s.deadRow
+}
+
+// coldRouter builds the greedy router over the lazily decoded graph. Like
+// coldRow it retries on failure instead of memoizing an error.
+func (s *snapshot) coldRouter() (*cliqueapsp.GreedyRouter, error) {
+	s.crMu.Lock()
+	defer s.crMu.Unlock()
+	if s.crouter != nil {
+		return s.crouter, nil
+	}
+	g, err := s.cold.Graph()
+	if err != nil {
+		return nil, err
+	}
+	// The router's own rows callback is a fallback only: cold routing always
+	// goes through RouteVia with a per-call error slot.
+	s.crouter = cliqueapsp.NewGreedyRouter(g, func(src int) []int {
+		r, err := s.coldRow(src)
+		if err != nil {
+			return s.dead()
+		}
+		return r
+	})
+	return s.crouter, nil
+}
+
 // path routes greedily from u to v over memoized next-hop rows, via the
 // library's GreedyRouter (built once per snapshot on first use).
 func (s *snapshot) path(u, v int) (PathResult, error) {
+	if s.cold != nil {
+		return s.coldPath(u, v)
+	}
 	res := PathResult{U: u, V: v, Cost: Unreachable, Version: s.version}
 	if !s.res.Distances.Reachable(u, v) {
 		return res, nil
@@ -96,4 +248,51 @@ func (s *snapshot) path(u, v int) (PathResult, error) {
 	}
 	res.Reachable, res.Path, res.Cost = true, path, cost
 	return res, nil
+}
+
+// coldPath is path over disk-backed rows: reachability from one row read,
+// routing over cold next-hop rows resolved through RouteVia so a mid-route
+// read failure surfaces as the I/O error it is, not as ErrNoRoute.
+func (s *snapshot) coldPath(u, v int) (PathResult, error) {
+	res := PathResult{U: u, V: v, Cost: Unreachable, Version: s.version}
+	urow, err := s.cold.Row(u)
+	if err != nil {
+		return res, fmt.Errorf("%w: %w", ErrColdRead, err)
+	}
+	if urow[v] >= cliqueapsp.Inf {
+		return res, nil
+	}
+	router, err := s.coldRouter()
+	if err != nil {
+		return res, fmt.Errorf("%w: %w", ErrColdRead, err)
+	}
+	var rerr error
+	rows := func(src int) []int {
+		r, err := s.coldRow(src)
+		if err != nil {
+			if rerr == nil {
+				rerr = err
+			}
+			return s.dead()
+		}
+		return r
+	}
+	path, cost, err := router.RouteVia(u, v, rows)
+	if rerr != nil {
+		return res, fmt.Errorf("%w: %w", ErrColdRead, rerr)
+	}
+	if err != nil {
+		return res, fmt.Errorf("oracle: snapshot v%d: %w", s.version, err)
+	}
+	res.Reachable, res.Path, res.Cost = true, path, cost
+	return res, nil
+}
+
+// graphM returns the snapshot's edge count without forcing a cold graph
+// decode (the row index records it).
+func (s *snapshot) graphM() int {
+	if s.cold != nil {
+		return s.cold.Index().M
+	}
+	return s.g.NumEdges()
 }

@@ -26,6 +26,58 @@ func NextHopRow(g *Graph, distances *DistanceMatrix, src int) ([]int, error) {
 	return row, nil
 }
 
+// NextHopRowFrom computes node src's next-hop row like NextHopRow, but
+// resolves distance rows through row instead of a resident DistanceMatrix —
+// the building block for estimates that live on disk (the tier package's
+// snapshot readers). row(x) must return node x's full distance vector
+// (length n, treated read-only); it is called once per neighbor of src, so a
+// caching provider pays at most deg(src) row loads. Tie-breaking matches
+// NextHopRow exactly: the smallest neighbor index wins equal costs, so hot
+// and cold serving produce identical routes.
+func NextHopRowFrom(g *Graph, src int, row func(x int) ([]int64, error)) ([]int, error) {
+	n := g.N()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("cliqueapsp: source %d out of range for n=%d", src, n)
+	}
+	if row == nil {
+		return nil, fmt.Errorf("cliqueapsp: nil row provider")
+	}
+	best := make([]int, n)
+	bestCost := make([]int64, n)
+	for v := range best {
+		best[v] = -1
+	}
+	for _, a := range arcsOf(g, src) {
+		if a.w >= Inf {
+			continue
+		}
+		r, err := row(a.to)
+		if err != nil {
+			return nil, fmt.Errorf("cliqueapsp: next-hop row %d: distance row %d: %w", src, a.to, err)
+		}
+		if len(r) != n {
+			return nil, fmt.Errorf("cliqueapsp: next-hop row %d: distance row %d has %d entries, want %d", src, a.to, len(r), n)
+		}
+		for v := 0; v < n; v++ {
+			d := r[v]
+			// Same Inf saturation as nextHopInto: a candidate at or above
+			// Inf is unreachable and must not be elected.
+			if d >= Inf {
+				continue
+			}
+			cost := a.w + d
+			if cost >= Inf {
+				continue
+			}
+			if best[v] == -1 || cost < bestCost[v] || (cost == bestCost[v] && a.to < best[v]) {
+				best[v], bestCost[v] = a.to, cost
+			}
+		}
+	}
+	best[src] = src
+	return best, nil
+}
+
 // NextHopTables derives greedy next-hop routing tables from a distance
 // estimate: table[u][v] is NextHopRow(g, distances, u)[v]. This is the
 // classic application of (approximate) APSP to network routing that
@@ -168,6 +220,16 @@ func NewGreedyRouter(g *Graph, rows func(src int) []int) *GreedyRouter {
 // loops (guarded by a TTL of 4n hops) return ErrNoRoute; a row naming a
 // non-neighbor as next hop is a corrupt-table error.
 func (r *GreedyRouter) Route(u, v int) ([]int, int64, error) {
+	return r.RouteVia(u, v, r.rows)
+}
+
+// RouteVia forwards one packet like Route, but resolves next-hop rows
+// through the given callback instead of the router's own. It exists for row
+// providers whose lookups can fail per call (a disk-backed snapshot, say):
+// the caller wraps its fallible provider in a closure that records the error
+// and returns a dead row, shares the router's O(m) weight tables across
+// calls, and keeps each call's error slot private.
+func (r *GreedyRouter) RouteVia(u, v int, rows func(src int) []int) ([]int, int64, error) {
 	if u < 0 || u >= r.n || v < 0 || v >= r.n {
 		return nil, 0, fmt.Errorf("cliqueapsp: route (%d,%d) out of range for n=%d", u, v, r.n)
 	}
@@ -177,7 +239,7 @@ func (r *GreedyRouter) Route(u, v int) ([]int, int64, error) {
 		if len(path) > 4*r.n {
 			return nil, 0, fmt.Errorf("%w: loop routing %d to %d", ErrNoRoute, u, v)
 		}
-		nh := r.rows(cur)[v]
+		nh := rows(cur)[v]
 		if nh < 0 || nh == cur {
 			return nil, 0, fmt.Errorf("%w: dead end at %d routing %d to %d", ErrNoRoute, cur, u, v)
 		}

@@ -123,54 +123,12 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	dec := &decoder{r: io.TeeReader(br, h)}
 
-	var m6 [6]byte
-	dec.bytes(m6[:])
-	if dec.err != nil {
-		return nil, corrupt("reading magic: %v", dec.err)
+	s, n, m, err := decodeHeader(dec)
+	if err != nil {
+		return nil, err
 	}
-	if m6 != magic {
-		return nil, corrupt("bad magic %q", m6[:])
-	}
-	format := dec.u16()
-	if dec.err != nil {
-		return nil, corrupt("reading format: %v", dec.err)
-	}
-	if format != FormatVersion {
-		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrFormat, format, FormatVersion)
-	}
-
-	s := &Snapshot{}
-	s.Version = dec.u64()
-	s.Seed = int64(dec.u64())
-	s.FactorBound = dec.f64()
-	s.Eps = dec.f64()
-	flags := dec.u32()
-	s.SeedPinned = flags&flagSeedPinned != 0
-	s.Algorithm = dec.str()
-	s.Engine = dec.str()
-	n := int(dec.u32())
-	m := int(dec.u32())
-	if dec.err != nil {
-		return nil, corrupt("reading header: %v", dec.err)
-	}
-	if n < 1 || n > MaxNodes {
-		return nil, corrupt("node count %d outside [1,%d]", n, MaxNodes)
-	}
-	if m < 0 || m > n*n {
-		return nil, corrupt("edge count %d impossible for n=%d", m, n)
-	}
-
-	s.Graph = cliqueapsp.NewGraph(n)
-	for i := 0; i < m; i++ {
-		u := int(dec.u32())
-		v := int(dec.u32())
-		w := int64(dec.u64())
-		if dec.err != nil {
-			return nil, corrupt("reading edge %d: %v", i, dec.err)
-		}
-		if err := s.Graph.AddEdge(u, v, w); err != nil {
-			return nil, corrupt("edge %d: %v", i, err)
-		}
+	if err := decodeEdges(dec, s, m); err != nil {
+		return nil, err
 	}
 
 	buf := make([]byte, minplus.RowByteLen(n))
@@ -196,6 +154,67 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		return nil, corrupt("checksum mismatch: file %08x, computed %08x", got, want)
 	}
 	return s, nil
+}
+
+// decodeHeader reads the fixed snapshot prefix — magic, format, provenance,
+// and the n/m counts — validating each field as untrusted input. The graph
+// is allocated (empty) so the edge block can stream straight into it. It is
+// shared by Decode and by the layout scan that rebuilds row-index sidecars.
+func decodeHeader(dec *decoder) (*Snapshot, int, int, error) {
+	var m6 [6]byte
+	dec.bytes(m6[:])
+	if dec.err != nil {
+		return nil, 0, 0, corrupt("reading magic: %v", dec.err)
+	}
+	if m6 != magic {
+		return nil, 0, 0, corrupt("bad magic %q", m6[:])
+	}
+	format := dec.u16()
+	if dec.err != nil {
+		return nil, 0, 0, corrupt("reading format: %v", dec.err)
+	}
+	if format != FormatVersion {
+		return nil, 0, 0, fmt.Errorf("%w: version %d (this build reads %d)", ErrFormat, format, FormatVersion)
+	}
+
+	s := &Snapshot{}
+	s.Version = dec.u64()
+	s.Seed = int64(dec.u64())
+	s.FactorBound = dec.f64()
+	s.Eps = dec.f64()
+	flags := dec.u32()
+	s.SeedPinned = flags&flagSeedPinned != 0
+	s.Algorithm = dec.str()
+	s.Engine = dec.str()
+	n := int(dec.u32())
+	m := int(dec.u32())
+	if dec.err != nil {
+		return nil, 0, 0, corrupt("reading header: %v", dec.err)
+	}
+	if n < 1 || n > MaxNodes {
+		return nil, 0, 0, corrupt("node count %d outside [1,%d]", n, MaxNodes)
+	}
+	if m < 0 || m > n*n {
+		return nil, 0, 0, corrupt("edge count %d impossible for n=%d", m, n)
+	}
+	s.Graph = cliqueapsp.NewGraph(n)
+	return s, n, m, nil
+}
+
+// decodeEdges streams the m-edge block into s.Graph.
+func decodeEdges(dec *decoder, s *Snapshot, m int) error {
+	for i := 0; i < m; i++ {
+		u := int(dec.u32())
+		v := int(dec.u32())
+		w := int64(dec.u64())
+		if dec.err != nil {
+			return corrupt("reading edge %d: %v", i, dec.err)
+		}
+		if err := s.Graph.AddEdge(u, v, w); err != nil {
+			return corrupt("edge %d: %v", i, err)
+		}
+	}
+	return nil
 }
 
 func corrupt(format string, args ...any) error {

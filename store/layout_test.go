@@ -1,0 +1,169 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/store"
+)
+
+// TestIndexOfMatchesEncodedBytes is the layout-vs-encode property the whole
+// tier package stands on: the arithmetic index computed from a snapshot's
+// header must point exactly at the rows Encode writes — row u's entry for v
+// sits at RowOffset + u×RowWidth + 8v, and Size is the encoded length.
+func TestIndexOfMatchesEncodedBytes(t *testing.T) {
+	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(13, 20, 6), 4)
+	raw := encodeToBytes(t, snap)
+
+	ix, err := store.IndexOf(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size != int64(len(raw)) {
+		t.Fatalf("index size %d, encoded %d bytes", ix.Size, len(raw))
+	}
+	n := snap.Graph.N()
+	if ix.N != n || ix.M != snap.Graph.NumEdges() || ix.RowWidth != 8*int64(n) {
+		t.Fatalf("index dimensions %+v for n=%d m=%d", ix, n, snap.Graph.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			off := ix.RowOffset + int64(u)*ix.RowWidth + 8*int64(v)
+			got := int64(binary.LittleEndian.Uint64(raw[off : off+8]))
+			if want := snap.Distances.At(u, v); got != want {
+				t.Fatalf("byte offset of d(%d,%d) holds %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeLayoutMatchesIndexOf checks the fallback path: a streaming pass
+// over the encoded header reconstructs the same index the snapshot's own
+// fields imply, provenance included.
+func TestDecodeLayoutMatchesIndexOf(t *testing.T) {
+	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(9, 14, 2), 7)
+	raw := encodeToBytes(t, snap)
+
+	want, err := store.IndexOf(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.DecodeLayout(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("DecodeLayout %+v, IndexOf %+v", got, want)
+	}
+	if got.Version != 7 || got.Algorithm != snap.Algorithm || got.Seed != snap.Seed {
+		t.Fatalf("layout provenance %+v does not match the snapshot", got)
+	}
+}
+
+func TestIndexSidecarRoundTrip(t *testing.T) {
+	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(9, 14, 2), 3)
+	ix, err := store.IndexOf(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.EncodeIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	got, err := store.DecodeIndex(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *ix {
+		t.Fatalf("sidecar round trip %+v, want %+v", got, ix)
+	}
+
+	// Truncations and flipped bytes must all surface as ErrCorrupt — the
+	// tier reader keys its rebuild fallback off that.
+	for _, cut := range []int{0, 5, 20, len(raw) / 2, len(raw) - 1} {
+		if _, err := store.DecodeIndex(bytes.NewReader(raw[:cut])); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("decode of %d/%d sidecar bytes: %v, want ErrCorrupt", cut, len(raw), err)
+		}
+	}
+	for _, pos := range []int{8, len(raw) / 2, len(raw) - 2} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x10
+		if _, err := store.DecodeIndex(bytes.NewReader(mut)); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("flip at %d/%d: %v, want ErrCorrupt", pos, len(raw), err)
+		}
+	}
+}
+
+// TestDirSidecarLifecycle pins that sidecars ride along with snapshots:
+// written on Save, readable through IndexPath, and garbage-collected with
+// the versions they describe.
+func TestDirSidecarLifecycle(t *testing.T) {
+	d := openDir(t, store.KeepVersions(1))
+	g := cliqueapsp.RandomGraph(8, 9, 5)
+	for v := uint64(1); v <= 2; v++ {
+		if err := d.Save("alpha", buildSnapshot(t, cliqueapsp.AlgExact, g, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest, err := d.IndexPath("alpha", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(newest)
+	if err != nil {
+		t.Fatalf("sidecar missing after Save: %v", err)
+	}
+	ix, err := store.DecodeIndex(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Version != 2 || ix.N != 8 {
+		t.Fatalf("sidecar describes v%d n=%d, want v2 n=8", ix.Version, ix.N)
+	}
+	old, err := d.IndexPath("alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatalf("GC left v1's sidecar behind: %v", err)
+	}
+}
+
+// TestDirOpenSweepsOrphanSidecars covers the crash window between removing
+// a snapshot and its sidecar: the next Open collects sidecars whose
+// snapshot is gone and leaves live pairs alone.
+func TestDirOpenSweepsOrphanSidecars(t *testing.T) {
+	root := t.TempDir()
+	d, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save("alpha", buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(8, 9, 5), 1)); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(root, "alpha", "00000000000000ff.idx")
+	if err := os.WriteFile(orphan, []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan sidecar survived Open: %v", err)
+	}
+	live, err := d.IndexPath("alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("live sidecar lost in the sweep: %v", err)
+	}
+}

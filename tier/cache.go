@@ -1,0 +1,97 @@
+package tier
+
+import (
+	"container/list"
+	"sync"
+)
+
+// rowCache is a bounded LRU over decoded distance rows with single-flight
+// loads: the first goroutine to miss a row becomes its loader, later
+// arrivals block on the same flight and share the result. Load errors are
+// never cached — a transient I/O failure must not poison a row forever —
+// and waiters joining a flight count as hits (only the leader touched
+// disk).
+type rowCache struct {
+	load func(u int) ([]int64, error)
+
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List            // MRU at front
+	rows     map[int]*list.Element // row id → element, Value is *rowEntry
+	inflight map[int]*flight       // row id → pending load
+	hits     uint64
+	misses   uint64
+	evicted  uint64
+}
+
+type rowEntry struct {
+	u   int
+	row []int64
+}
+
+// flight is one in-progress row load. done closes after row/err are set.
+type flight struct {
+	done chan struct{}
+	row  []int64
+	err  error
+}
+
+func newRowCache(cap int, load func(u int) ([]int64, error)) *rowCache {
+	return &rowCache{
+		load:     load,
+		cap:      cap,
+		ll:       list.New(),
+		rows:     make(map[int]*list.Element),
+		inflight: make(map[int]*flight),
+	}
+}
+
+func (c *rowCache) get(u int) ([]int64, error) {
+	c.mu.Lock()
+	if e, ok := c.rows[u]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		row := e.Value.(*rowEntry).row
+		c.mu.Unlock()
+		return row, nil
+	}
+	if fl, ok := c.inflight[u]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.row, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[u] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	fl.row, fl.err = c.load(u)
+
+	c.mu.Lock()
+	delete(c.inflight, u)
+	if fl.err == nil {
+		c.rows[u] = c.ll.PushFront(&rowEntry{u: u, row: fl.row})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.rows, oldest.Value.(*rowEntry).u)
+			c.evicted++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.row, fl.err
+}
+
+func (c *rowCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Resident:  c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

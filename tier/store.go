@@ -1,0 +1,43 @@
+package tier
+
+import (
+	"fmt"
+
+	"github.com/congestedclique/cliqueapsp/store"
+)
+
+// Store adapts a *store.Dir to cold opening: it resolves a tenant/version
+// pair to the snapshot and sidecar paths and opens a Reader over them. It
+// embeds the Dir, so one value satisfies both the oracle Manager's
+// SnapshotStore interface (persist/restore) and its ColdOpener interface
+// (tiered serving) — cmd/ccserve wires a single Store into both roles.
+type Store struct{ *store.Dir }
+
+// NewStore wraps d for tiered serving.
+func NewStore(d *store.Dir) *Store { return &Store{Dir: d} }
+
+// OpenCold opens a Reader over one persisted snapshot version of tenant,
+// with a hot-row cache of cacheRows rows. The snapshot's recorded version
+// must match the requested one — the filename is the caller's claim, the
+// header is the file's own, and a disagreement means the file was tampered
+// with or misplaced.
+func (s *Store) OpenCold(tenant string, version uint64, cacheRows int) (*Reader, error) {
+	snapPath, err := s.SnapshotPath(tenant, version)
+	if err != nil {
+		return nil, err
+	}
+	idxPath, err := s.IndexPath(tenant, version)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Open(snapPath, idxPath, cacheRows)
+	if err != nil {
+		return nil, err
+	}
+	if r.Version() != version {
+		r.Close()
+		return nil, fmt.Errorf("%w: %s records version %d, expected %d",
+			store.ErrCorrupt, snapPath, r.Version(), version)
+	}
+	return r, nil
+}

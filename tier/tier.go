@@ -1,0 +1,204 @@
+// Package tier serves distance rows straight off persisted snapshot files.
+//
+// The paper's algorithms are expensive precomputations; the artifact they
+// produce is a flat n×n int64 matrix whose rows are fixed-width. That makes
+// the serve side embarrassingly cheap: row u of a persisted snapshot lives
+// at a computable byte offset, so answering a Dist query for a tenant whose
+// matrix is not resident costs one pread of 8n bytes — not an O(n²) decode.
+//
+// Reader is the unit of that idea: it opens one snapshot file, locates the
+// row block via the store's row-index sidecar (or one streaming pass over
+// the header when the sidecar is missing or corrupt), and serves rows
+// through a bounded hot-row LRU cache with single-flight loads, so a burst
+// of queries for the same source pays for one disk read. The graph itself —
+// needed only by Path queries — decodes lazily from the edge block.
+//
+// The oracle package builds its cold serving tier on top: an evicted tenant
+// demotes to a Reader instead of dropping, and rehydration becomes cache
+// warming (see oracle.Manager and cmd/ccserve's -coldcache flag).
+package tier
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
+	"github.com/congestedclique/cliqueapsp/store"
+)
+
+// Reader serves distance rows of one persisted snapshot directly from disk.
+// All methods are safe for concurrent use. Rows returned by Row are shared
+// with the cache and other callers: they are read-only.
+type Reader struct {
+	f     *os.File
+	ix    store.RowIndex
+	cache *rowCache
+
+	// rebuilt records that the row index came from a streaming pass over
+	// the snapshot header because the sidecar was missing or corrupt.
+	rebuilt bool
+
+	// The graph decodes lazily (only Path queries need it) and failures are
+	// retryable, so this is a mutex + nil check rather than a sync.Once.
+	gmu   sync.Mutex
+	graph *cliqueapsp.Graph
+}
+
+// Open prepares a Reader over the snapshot at snapPath. The row index loads
+// from the sidecar at idxPath when present and intact; otherwise it is
+// reconstructed by one streaming pass over the snapshot header — a corrupt
+// sidecar is never an error by itself. cacheRows bounds the hot-row cache
+// (minimum 1). A snapshot whose size disagrees with its own header fails
+// with store.ErrCorrupt; a missing snapshot fails with store.ErrNotFound.
+func Open(snapPath, idxPath string, cacheRows int) (*Reader, error) {
+	f, err := os.Open(snapPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", store.ErrNotFound, snapPath)
+		}
+		return nil, fmt.Errorf("tier: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tier: %w", err)
+	}
+
+	ix, rebuilt := loadIndex(idxPath, st.Size())
+	if ix == nil {
+		// Sidecar missing, corrupt, or stale: one streaming pass over the
+		// snapshot header rebuilds the index.
+		rebuilt = true
+		sec := io.NewSectionReader(f, 0, st.Size())
+		ix, err = store.DecodeLayout(sec)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", snapPath, err)
+		}
+	}
+	if ix.Size != st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w: file is %d bytes, header implies %d",
+			snapPath, store.ErrCorrupt, st.Size(), ix.Size)
+	}
+
+	if cacheRows < 1 {
+		cacheRows = 1
+	}
+	r := &Reader{f: f, ix: *ix, rebuilt: rebuilt}
+	r.cache = newRowCache(cacheRows, r.loadRow)
+	return r, nil
+}
+
+// loadIndex tries the sidecar. Any failure — absent file, bad checksum,
+// foreign format, or a size that disagrees with the snapshot on disk —
+// returns nil so Open falls back to the streaming rebuild.
+func loadIndex(idxPath string, snapSize int64) (*store.RowIndex, bool) {
+	if idxPath == "" {
+		return nil, true
+	}
+	f, err := os.Open(idxPath)
+	if err != nil {
+		return nil, true
+	}
+	defer f.Close()
+	ix, err := store.DecodeIndex(f)
+	if err != nil || ix.Size != snapSize {
+		return nil, true
+	}
+	return ix, false
+}
+
+// Index returns a copy of the reader's row index — the snapshot's
+// provenance (version, algorithm, seed, …) plus its row layout.
+func (r *Reader) Index() store.RowIndex { return r.ix }
+
+// N returns the snapshot's node count.
+func (r *Reader) N() int { return r.ix.N }
+
+// Version returns the oracle snapshot version the file was published under.
+func (r *Reader) Version() uint64 { return r.ix.Version }
+
+// RebuiltIndex reports whether Open had to reconstruct the row index from
+// the snapshot header because the sidecar was missing or corrupt.
+func (r *Reader) RebuiltIndex() bool { return r.rebuilt }
+
+// Row returns distance row u — every entry of the published estimate with
+// source u, minplus.Inf marking unreachable. The row comes from the hot-row
+// cache when resident and from one pread otherwise; concurrent requests for
+// the same non-resident row share a single load. The returned slice is
+// shared: callers must not modify it.
+func (r *Reader) Row(u int) ([]int64, error) {
+	if u < 0 || u >= r.ix.N {
+		return nil, fmt.Errorf("tier: row %d out of range for n=%d", u, r.ix.N)
+	}
+	return r.cache.get(u)
+}
+
+// loadRow preads and validates one row. It is only ever invoked by the
+// cache's single-flight leader for a non-resident row.
+func (r *Reader) loadRow(u int) ([]int64, error) {
+	buf := make([]byte, r.ix.RowWidth)
+	if _, err := r.f.ReadAt(buf, r.ix.RowOffset+int64(u)*r.ix.RowWidth); err != nil {
+		return nil, fmt.Errorf("tier: reading row %d of %s: %w", u, r.f.Name(), err)
+	}
+	row := make([]int64, r.ix.N)
+	if err := minplus.DecodeRowBytes(row, buf); err != nil {
+		return nil, err
+	}
+	// Rows read straight off disk bypass the snapshot codec's checksum, so
+	// validate the one structural invariant distances have: every entry in
+	// [0, Inf]. A flipped sign bit or garbage write fails here instead of
+	// flowing into an answer.
+	for i, d := range row {
+		if d < 0 || d > minplus.Inf {
+			return nil, fmt.Errorf("%w: row %d entry %d holds impossible distance %d",
+				store.ErrCorrupt, u, i, d)
+		}
+	}
+	return row, nil
+}
+
+// Graph decodes and returns the snapshot's input graph. The decode runs at
+// most once per reader on success and is retried on failure; only Path
+// queries ever need it, so a cold tenant serving pure Dist/Batch traffic
+// never pays the O(m) parse.
+func (r *Reader) Graph() (*cliqueapsp.Graph, error) {
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	if r.graph != nil {
+		return r.graph, nil
+	}
+	sec := io.NewSectionReader(r.f, r.ix.EdgesOffset(), 16*int64(r.ix.M))
+	g, err := store.DecodeEdgeBlock(sec, r.ix.N, r.ix.M)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.f.Name(), err)
+	}
+	r.graph = g
+	return g, nil
+}
+
+// CacheStats is a point-in-time snapshot of the hot-row cache.
+type CacheStats struct {
+	// Hits counts Row calls served without a disk read — resident rows plus
+	// waiters that joined an in-flight load. Misses counts loads that went
+	// to disk. Evictions counts rows dropped to stay within Capacity.
+	Hits, Misses, Evictions uint64
+	// Resident is the number of rows currently cached; it never exceeds
+	// Capacity, so Resident×8n bounds the reader's row memory.
+	Resident int
+	Capacity int
+}
+
+// Stats returns current cache counters.
+func (r *Reader) Stats() CacheStats { return r.cache.stats() }
+
+// Close releases the underlying file. Callers that have published the
+// reader for concurrent use must not call Close while queries may still be
+// in flight; the serving stack instead drops its last reference and lets
+// the file close with the reader (queries racing a demotion keep their
+// snapshot handle alive until they finish).
+func (r *Reader) Close() error { return r.f.Close() }
