@@ -24,6 +24,7 @@ import (
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/experiments"
 	"github.com/congestedclique/cliqueapsp/internal/registry"
+	"github.com/congestedclique/cliqueapsp/obs"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
@@ -92,6 +93,7 @@ func main() {
 			fatal(err)
 		}
 		report.Tier = tb
+		report.Obs = benchObs()
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -247,6 +249,57 @@ func benchTier(seed int64) (*experiments.TierBench, error) {
 		HitNS:        hitNS,
 		HitsPerS:     perSec(hits, hitNS),
 	}, nil
+}
+
+// benchObs times the metrics layer ccserve puts on every request: resolved
+// counter increments (the per-request hot path) and one full exposition
+// render over a registry shaped like a busy server's (route×status counters,
+// latency histograms, per-tenant outcomes). Deterministic, so no seed.
+func benchObs() *experiments.ObsBench {
+	reg := obs.NewRegistry()
+	requests := reg.Counter("bench_requests_total", "bench", "route", "status")
+	latency := reg.Histogram("bench_request_duration_seconds", "bench",
+		obs.DefBuckets, "route", "status")
+	tenants := reg.Counter("bench_tenant_requests_total", "bench", "tenant", "outcome")
+
+	routes := []string{"/v1/dist", "/v1/batch", "/v1/path", "/v1/graph",
+		"/v1/stats", "/v1/graphs", "/v1/graphs/{name}/dist", "/v1/graphs/{name}/batch"}
+	statuses := []string{"200", "202", "400", "404", "429", "503"}
+	for _, route := range routes {
+		for i, status := range statuses {
+			requests.With(route, status).Inc()
+			latency.With(route, status).Observe(float64(i) / 100)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		tenants.With(fmt.Sprintf("tenant-%02d", i), "served").Inc()
+	}
+
+	const increments = 1 << 20
+	start := time.Now()
+	for i := 0; i < increments; i++ {
+		requests.With(routes[i%len(routes)], "200").Inc()
+	}
+	incNS := time.Since(start).Nanoseconds()
+
+	var sb strings.Builder
+	start = time.Now()
+	reg.Expose(&sb)
+	renderNS := time.Since(start).Nanoseconds()
+
+	series := len(routes)*len(statuses)*2 + 64
+	incPerS := 0.0
+	if incNS > 0 {
+		incPerS = float64(increments) / (float64(incNS) / 1e9)
+	}
+	return &experiments.ObsBench{
+		Increments:  increments,
+		IncNS:       incNS,
+		IncPerS:     incPerS,
+		Series:      series,
+		RenderNS:    renderNS,
+		RenderBytes: sb.Len(),
+	}
 }
 
 func fatal(err error) {

@@ -5,6 +5,8 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -60,7 +62,7 @@ func hashKey(key string) keyHash { return sha256.Sum256([]byte(key)) }
 // the previous keys serving, so a bad edit can't lock everyone out.
 type keyring struct {
 	path string
-	logf func(format string, args ...any)
+	log  *slog.Logger
 
 	mu     sync.RWMutex
 	admin  *keyHash
@@ -72,11 +74,11 @@ type keyring struct {
 // loadKeyring reads and validates path. Unlike reload, a broken file at
 // boot is fatal: starting open because the config was bad would silently
 // expose every tenant.
-func loadKeyring(path string, logf func(format string, args ...any)) (*keyring, error) {
-	if logf == nil {
-		logf = func(string, ...any) {}
+func loadKeyring(path string, log *slog.Logger) (*keyring, error) {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	k := &keyring{path: path, logf: logf, api: make(map[string]keyHash)}
+	k := &keyring{path: path, log: log, api: make(map[string]keyHash)}
 	if err := k.reload(); err != nil {
 		return nil, err
 	}
@@ -154,8 +156,8 @@ func (k *keyring) reload() error {
 	k.mu.Lock()
 	k.admin, k.file, k.quotas = admin, file, quotas
 	k.mu.Unlock()
-	k.logf("key file %s loaded: admin=%v, %d tenant key(s), %d quota(s)",
-		k.path, admin != nil, len(file), len(quotas))
+	k.log.Info("key file loaded", "path", k.path, "admin", admin != nil,
+		"tenant_keys", len(file), "quotas", len(quotas))
 	return nil
 }
 
@@ -305,7 +307,7 @@ func (s *server) applyFileQuotas() {
 	for _, name := range s.auth.quotaTenants() {
 		q, _ := s.auth.quotaFor(name)
 		if err := s.mgr.SetQuota(name, q); err != nil {
-			s.logf("tenant %q: applying key-file quota: %v", name, err)
+			s.log.Warn("applying key-file quota failed", "tenant", name, "err", err)
 		}
 	}
 }
@@ -317,7 +319,7 @@ func (s *server) ReloadKeys() {
 		return
 	}
 	if err := s.auth.reload(); err != nil {
-		s.logf("key reload failed, keeping previous keys: %v", err)
+		s.log.Error("key reload failed, keeping previous keys", "err", err)
 		return
 	}
 	s.applyFileQuotas()

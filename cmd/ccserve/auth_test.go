@@ -32,17 +32,17 @@ func TestKeyFileParsing(t *testing.T) {
 		"negative quota":  `{"tenants":{"alpha":{"key":"k","quota":{"requests_per_sec":-1}}}}`,
 	} {
 		path := writeKeys(t, dir, bad)
-		if _, err := loadKeyring(path, t.Logf); err == nil {
+		if _, err := loadKeyring(path, testLogger(t)); err == nil {
 			t.Errorf("%s: loaded without error", name)
 		}
 	}
-	if _, err := loadKeyring(filepath.Join(dir, "nope.json"), t.Logf); err == nil {
+	if _, err := loadKeyring(filepath.Join(dir, "nope.json"), testLogger(t)); err == nil {
 		t.Error("missing file loaded without error")
 	}
 
 	path := writeKeys(t, dir,
 		`{"admin":"root","tenants":{"alpha":{"key":"ka","quota":{"requests_per_sec":5}},"beta":{"key":"kb"}}}`)
-	k, err := loadKeyring(path, t.Logf)
+	k, err := loadKeyring(path, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestKeyFileParsing(t *testing.T) {
 func TestKeyringReload(t *testing.T) {
 	dir := t.TempDir()
 	path := writeKeys(t, dir, `{"admin":"old-admin","tenants":{"alpha":{"key":"old-ka"}}}`)
-	k, err := loadKeyring(path, t.Logf)
+	k, err := loadKeyring(path, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

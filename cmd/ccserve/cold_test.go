@@ -45,7 +45,7 @@ func TestServerColdTierAcrossRestart(t *testing.T) {
 		cfg.snapshots = snapshots
 		cfg.maxTotalNodes = maxTotalNodes
 		cfg.coldCacheRows = coldCacheRows
-		cfg.logf = t.Logf
+		cfg.log = testLogger(t)
 		handler, err := newServer(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -16,9 +16,16 @@
 //	GET  /v1/dist    ?u=0&v=3 — one distance (default tenant)
 //	POST /v1/batch   {"pairs":[[0,1],[2,3],…]} — many distances, one snapshot
 //	GET  /v1/path    ?u=0&v=3 — greedy next-hop route and its cost
-//	GET  /v1/stats   default-tenant + HTTP counters, manager aggregate and
-//	                 per-tenant breakdown (evictions included)
-//	GET  /healthz    200 once the default tenant serves
+//	GET  /v1/stats   default-tenant + HTTP counters, manager aggregate,
+//	                 per-tenant breakdown (evictions included) and a
+//	                 process section (uptime, goroutines, heap, GC)
+//	GET  /healthz    200 once the default tenant serves; reports build
+//	                 version and VCS revision
+//	GET  /metrics    Prometheus text exposition: request counts and
+//	                 latency histograms by route and status, per-tenant
+//	                 outcome counters, build-phase histograms, manager /
+//	                 row-cache / process gauges (admin-only under -keys)
+//	GET  /debug/pprof/   net/http/pprof profiles (admin-only under -keys)
 //
 //	GET    /v1/graphs                 list hosted graphs
 //	POST   /v1/graphs                 create a tenant: {"name":…,
@@ -62,7 +69,16 @@
 // answers/sec token buckets) enforced with 429 + Retry-After; SIGHUP
 // reloads the file without a restart. Without -keys the server stays as
 // open as earlier versions. Throttle counts appear in /v1/stats under
-// manager.throttled and per tenant.
+// manager.throttled and per tenant. /metrics and /debug/pprof/ are not
+// tenant-scoped routes, so under -keys only the admin key reaches them.
+//
+// Logging is structured (log/slog, text format): one completion line per
+// request with route, tenant, status, bytes, duration and a request ID.
+// The ID is taken from the client's X-Request-Id (if printable ASCII,
+// <=128 bytes) or minted, and is always echoed on the response.
+// Requests slower than -slowquery log at warning level. -loglevel
+// picks the floor (debug|info|warn|error); -version prints build
+// metadata and exits.
 //
 // Example:
 //
@@ -80,10 +96,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -112,9 +129,29 @@ func main() {
 		maxTotalN    = flag.Int("maxtotaln", 65536, "summed node budget across all hosted graphs (0 = unlimited)")
 		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
+		slowQuery    = flag.Duration("slowquery", time.Second, "log requests slower than this at warning level (0 = off)")
+		logLevel     = flag.String("loglevel", "info", "lowest level logged: debug, info, warn or error")
+		showVersion  = flag.Bool("version", false, "print build version and revision, then exit")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "ccserve: ", log.LstdFlags)
+
+	version, revision := buildInfo()
+	if *showVersion {
+		fmt.Printf("ccserve %s (revision %s, %s)\n", version, revision, runtime.Version())
+		return
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ccserve: bad -loglevel %q: want debug, info, warn or error\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("build_info", "version", version, "revision", revision, "go", runtime.Version())
 
 	runOpts := []cliqueapsp.RunOption{
 		cliqueapsp.WithT(*t),
@@ -128,15 +165,15 @@ func main() {
 		var err error
 		snapshots, err = store.Open(*dataDir, store.KeepVersions(*keepVers))
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 	}
 	var keys *keyring
 	if *keysFile != "" {
 		var err error
-		keys, err = loadKeyring(*keysFile, logger.Printf)
+		keys, err = loadKeyring(*keysFile, logger)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -153,30 +190,31 @@ func main() {
 			RunOptions:   runOpts,
 			BuildTimeout: *buildTimeout,
 		},
-		logf: logger.Printf,
+		log:       logger,
+		slowQuery: *slowQuery,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	defer handler.Close()
 
 	if *graphFile != "" {
 		f, err := os.Open(*graphFile)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 		g, err := cliqueapsp.ReadGraph(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		version, err := handler.def.SetGraph(g)
+		v, err := handler.def.SetGraph(g)
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
-		logger.Printf("preloaded %s: n=%d m=%d version=%d (building)", *graphFile, g.N(), g.NumEdges(), version)
+		logger.Info("graph preloaded", "file", *graphFile, "n", g.N(), "m", g.NumEdges(), "version", v)
 	}
 
 	srv := &http.Server{
@@ -192,7 +230,7 @@ func main() {
 		signal.Notify(hupc, syscall.SIGHUP)
 		go func() {
 			for range hupc {
-				logger.Printf("SIGHUP: reloading %s", *keysFile)
+				logger.Info("SIGHUP: reloading key file", "path", *keysFile)
 				handler.ReloadKeys()
 			}
 		}()
@@ -208,8 +246,10 @@ func main() {
 		if keys != nil {
 			auth = *keysFile
 		}
-		logger.Printf("serving %s (alg=%s, maxn=%d, maxbatch=%d, maxgraphs=%d, maxtotaln=%d, datadir=%s, coldcache=%d, keys=%s)",
-			*addr, *alg, *maxN, *maxBatch, *maxGraphs, *maxTotalN, persist, *coldCache, auth)
+		logger.Info("serving", "addr", *addr, "alg", *alg, "maxn", *maxN,
+			"maxbatch", *maxBatch, "maxgraphs", *maxGraphs, "maxtotaln", *maxTotalN,
+			"datadir", persist, "coldcache", *coldCache, "keys", auth,
+			"slowquery", *slowQuery)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -217,16 +257,16 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		logger.Fatal(err)
+		fatal(err)
 	case sig := <-sigc:
-		logger.Printf("received %s, draining (%s)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "window", *drainTimeout)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	handler.Close()
-	fmt.Fprintln(os.Stderr, "ccserve: bye")
+	logger.Info("bye")
 }

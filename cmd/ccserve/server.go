@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/obs"
 	"github.com/congestedclique/cliqueapsp/oracle"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
@@ -40,13 +43,14 @@ func defaultLimits() limits {
 // tenant inherits.
 type serverConfig struct {
 	lim           limits
-	maxGraphs     int        // most hosted graphs (0 = unlimited)
-	maxTotalNodes int        // summed node budget across graphs (0 = unlimited)
-	snapshots     *store.Dir // nil = no persistence (-datadir unset)
-	coldCacheRows int        // hot-row cache rows per cold tenant (0 = tiering off)
-	keys          *keyring   // nil = open server (-keys unset)
+	maxGraphs     int           // most hosted graphs (0 = unlimited)
+	maxTotalNodes int           // summed node budget across graphs (0 = unlimited)
+	snapshots     *store.Dir    // nil = no persistence (-datadir unset)
+	coldCacheRows int           // hot-row cache rows per cold tenant (0 = tiering off)
+	keys          *keyring      // nil = open server (-keys unset)
+	slowQuery     time.Duration // log completed requests over this at warn (-slowquery; 0 = off)
 	base          oracle.Config
-	logf          func(format string, args ...any)
+	log           *slog.Logger // nil = discard
 }
 
 // Tenant names are validated with store.ValidTenantName, so the HTTP API,
@@ -54,7 +58,7 @@ type serverConfig struct {
 
 // server is the HTTP surface over an oracle.Manager. It carries
 // expvar-style request counters surfaced by /v1/stats alongside the
-// manager's and every tenant's own.
+// manager's and every tenant's own, plus the obs registry behind /metrics.
 type server struct {
 	mgr   *oracle.Manager
 	def   *oracle.Tenant // the pinned default tenant
@@ -63,7 +67,9 @@ type server struct {
 	lim   limits
 	mux   *http.ServeMux
 	start time.Time
-	logf  func(format string, args ...any)
+	log   *slog.Logger
+	slow  time.Duration  // -slowquery threshold (0 = off)
+	met   *serverMetrics // request/build instruments behind /metrics
 
 	tmu  sync.Mutex
 	tlim map[string]int // per-tenant max-node overrides (≤ lim.maxNodes)
@@ -74,17 +80,20 @@ type server struct {
 }
 
 func newServer(cfg serverConfig) (*server, error) {
-	logf := cfg.logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	reg := obs.NewRegistry()
 	s := &server{
 		snaps: cfg.snapshots,
 		auth:  cfg.keys,
 		lim:   cfg.lim,
 		mux:   http.NewServeMux(),
 		start: time.Now(),
-		logf:  logf,
+		log:   logger,
+		slow:  cfg.slowQuery,
+		met:   newServerMetrics(reg),
 		tlim:  make(map[string]int),
 	}
 	mcfg := oracle.ManagerConfig{
@@ -105,21 +114,24 @@ func newServer(cfg serverConfig) (*server, error) {
 				delete(s.tlim, name)
 				s.tmu.Unlock()
 			}
-			logf("tenant %q evicted (LRU)", name)
+			logger.Info("tenant evicted", "tenant", name, "reason", "lru")
 		},
 		OnRebuild: func(name string, version uint64, elapsed time.Duration, err error) {
 			if err != nil {
-				logf("tenant %q rebuild v%d failed after %s: %v", name, version, elapsed, err)
+				s.met.rebuilds.With("error").Inc()
+				logger.Error("tenant rebuild failed", "tenant", name, "version", version, "dur", elapsed, "err", err)
 				return
 			}
-			logf("tenant %q rebuild v%d done in %s", name, version, elapsed)
+			s.met.rebuilds.With("ok").Inc()
+			logger.Info("tenant rebuild done", "tenant", name, "version", version, "dur", elapsed)
 		},
+		OnPhase: s.met.observePhases,
 	}
 	if cfg.snapshots != nil {
 		mcfg.Store = cfg.snapshots
 		mcfg.OnPersist = func(name string, version uint64, err error) {
 			if err != nil {
-				logf("tenant %q persist v%d failed: %v", name, version, err)
+				logger.Error("snapshot persist failed", "tenant", name, "version", version, "err", err)
 			}
 		}
 		if cfg.coldCacheRows > 0 {
@@ -147,16 +159,16 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.snapshots != nil {
 		restored, failed, err := s.mgr.RestoreAll(func(tenant string, err error) {
 			if err != nil {
-				logf("tenant %q not restored: %v", tenant, err)
+				logger.Warn("tenant not restored", "tenant", tenant, "err", err)
 				return
 			}
-			logf("tenant %q restored from %s", tenant, cfg.snapshots.Root())
+			logger.Info("tenant restored", "tenant", tenant, "from", cfg.snapshots.Root())
 		})
 		if err != nil {
 			s.mgr.Close()
 			return nil, fmt.Errorf("restoring snapshots: %w", err)
 		}
-		logf("snapshot restore: %d tenants up, %d skipped", restored, failed)
+		logger.Info("snapshot restore complete", "restored", restored, "skipped", failed)
 	}
 
 	// With the fleet restored, the key file's quotas land on every hosted
@@ -173,15 +185,61 @@ func newServer(cfg serverConfig) (*server, error) {
 	// Multi-tenant routes.
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/graphs/", s.handleTenant)
+	// Observability surfaces. Neither path is tenant-scoped in tenantRoute,
+	// so with -keys set both are admin-only automatically; without -keys the
+	// server is as open as every other route.
+	s.mux.Handle("/metrics", reg.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.registerCollectors(reg)
 	return s, nil
 }
 
+// ServeHTTP is the middleware shell around every route: request ID in, one
+// counter/histogram update and one structured completion line out. Auth
+// runs inside the shell so 401/403 land in the route metrics too.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := requestID(r)
+	r = r.WithContext(withRequestID(r.Context(), id))
+	w.Header().Set("X-Request-Id", id)
+	sw := &statusWriter{ResponseWriter: w}
 	s.reqs.Add(1)
-	if !s.authorize(w, r) {
-		return
+	if s.authorize(sw, r) {
+		s.mux.ServeHTTP(sw, r)
 	}
-	s.mux.ServeHTTP(w, r)
+	if sw.status == 0 {
+		sw.status = http.StatusOK // handler never wrote; net/http sends 200
+	}
+	dur := time.Since(start)
+	route := routeTemplate(r.URL.Path)
+	status := strconv.Itoa(sw.status)
+	s.met.requests.With(route, r.Method, status).Inc()
+	s.met.latency.With(route, status).Observe(dur.Seconds())
+	tenant, scoped := tenantRoute(r)
+	if scoped {
+		if outcome := requestOutcome(sw.status); outcome != "" {
+			s.met.tenantReq.With(tenant, outcome).Inc()
+		}
+	}
+	level := slog.LevelInfo
+	msg := "request"
+	switch {
+	case s.slow > 0 && dur >= s.slow:
+		level, msg = slog.LevelWarn, "slow request"
+	case route == "/healthz" || route == "/metrics":
+		// Probe and scrape traffic: one line per poll would drown the log.
+		level = slog.LevelDebug
+	}
+	args := []any{"route", route, "method", r.Method, "status", sw.status,
+		"bytes", sw.bytes, "dur", dur, "id", id}
+	if scoped {
+		args = append(args, "tenant", tenant)
+	}
+	s.log.Log(r.Context(), level, msg, args...)
 }
 
 // Close drains every tenant's build loop.
@@ -222,8 +280,11 @@ func (s *server) clientGone(w http.ResponseWriter, err error) {
 // fail maps an error to a status: oracle-not-ready serves 503 (retryable),
 // unknown tenants 404, admission rejections 429, bodies over -maxbody 413,
 // quota rejections 429 with a Retry-After header, everything else defaults
-// to the given status.
-func (s *server) fail(w http.ResponseWriter, status int, err error) {
+// to the given status. Every failure body is also logged server-side with
+// the request ID — 5xx at error level (a store or tier fault mapped to 500
+// must be traceable without asking the client for its response body), 4xx
+// at debug.
+func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
 	var maxBytes *http.MaxBytesError
 	var quota *oracle.QuotaError
 	switch {
@@ -248,6 +309,13 @@ func (s *server) fail(w http.ResponseWriter, status int, err error) {
 		// over -maxbody would misreport as a 400 "bad request".
 		status = http.StatusRequestEntityTooLarge
 	}
+	level, msg := slog.LevelDebug, "request rejected"
+	if status >= 500 {
+		level, msg = slog.LevelError, "request failed"
+	}
+	s.log.Log(r.Context(), level, msg,
+		"status", status, "method", r.Method, "path", r.URL.Path,
+		"id", requestIDFrom(r.Context()), "err", err)
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
@@ -323,12 +391,12 @@ func expectEOF(dec *json.Decoder) error {
 func (s *server) dist(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
 	u, v, err := queryPair(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	res, err := t.Dist(u, v)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
@@ -371,15 +439,15 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant)
 	}
 	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
 	if err := decodeStrict(body, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch body: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("batch body: %w", err))
 		return
 	}
 	if len(req.Pairs) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch body: no pairs"))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("batch body: no pairs"))
 		return
 	}
 	if len(req.Pairs) > s.lim.maxBatch {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("batch of %d pairs exceeds the limit of %d", len(req.Pairs), s.lim.maxBatch))
 		return
 	}
@@ -389,7 +457,7 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant)
 	}
 	res, err := t.Batch(pairs)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
@@ -399,12 +467,12 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant)
 func (s *server) path(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
 	u, v, err := queryPair(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	res, err := t.Path(u, v)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
@@ -475,15 +543,15 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 			Edges []jsonEdge `json:"edges"`
 		}
 		if err := decodeStrict(body, &req); err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: %w", err))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("graph body: %w", err))
 			return nil, false
 		}
 		if req.N < 1 {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body: n must be ≥ 1"))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("graph body: n must be ≥ 1"))
 			return nil, false
 		}
 		if req.N > maxNodes {
-			s.fail(w, http.StatusRequestEntityTooLarge,
+			s.fail(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("graph of %d nodes exceeds the limit of %d", req.N, maxNodes))
 			return nil, false
 		}
@@ -495,7 +563,7 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 		seen := make(map[[2]int]int, len(req.Edges))
 		for i, e := range req.Edges {
 			if err := g.AddEdge(e.U, e.V, e.W); err != nil {
-				s.fail(w, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
+				s.fail(w, r, http.StatusBadRequest, fmt.Errorf("edge %d: %w", i, err))
 				return nil, false
 			}
 			k := [2]int{e.U, e.V}
@@ -503,7 +571,7 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 				k[0], k[1] = k[1], k[0]
 			}
 			if j, dup := seen[k]; dup {
-				s.fail(w, http.StatusBadRequest,
+				s.fail(w, r, http.StatusBadRequest,
 					fmt.Errorf("edge %d: duplicate of edge %d ({%d,%d})", i, j, k[0], k[1]))
 				return nil, false
 			}
@@ -513,18 +581,18 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request, maxNodes int)
 	}
 	g, err := cliqueapsp.ReadGraph(body)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("graph body (edge-list): %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("graph body (edge-list): %w", err))
 		return nil, false
 	}
 	if g.N() > maxNodes {
-		s.fail(w, http.StatusRequestEntityTooLarge,
+		s.fail(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("graph of %d nodes exceeds the limit of %d", g.N(), maxNodes))
 		return nil, false
 	}
 	// Same strictness as the JSON branch: an ambiguous repeated pair is a
 	// client bug (the parser has no edge indices, so report the pair).
 	if u, v, dup := duplicateEdge(g); dup {
-		s.fail(w, http.StatusBadRequest,
+		s.fail(w, r, http.StatusBadRequest,
 			fmt.Errorf("graph body (edge-list): duplicate edge {%d,%d}", u, v))
 		return nil, false
 	}
@@ -555,11 +623,12 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.T
 	}
 	version, err := t.SetGraph(g)
 	if err != nil {
-		s.fail(w, http.StatusServiceUnavailable, err)
+		s.fail(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.graphs.Add(1)
-	s.logf("graph accepted: tenant=%s n=%d m=%d version=%d", t.Name(), g.N(), g.NumEdges(), version)
+	s.log.Info("graph accepted", "tenant", t.Name(), "n", g.N(), "m", g.NumEdges(),
+		"version", version, "id", requestIDFrom(r.Context()))
 
 	status := http.StatusAccepted
 	if r.URL.Query().Get("wait") != "" {
@@ -577,7 +646,7 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.T
 				s.clientGone(w, fmt.Errorf("client stopped waiting for rebuild v%d: %w (the build continues)", version, err))
 				return
 			}
-			s.fail(w, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))
+			s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))
 			return
 		}
 		status = http.StatusOK
@@ -630,6 +699,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		HTTPErrors   uint64              `json:"http_errors"`
 		GraphUploads uint64              `json:"graph_uploads"`
 		Manager      oracle.ManagerStats `json:"manager"`
+		Process      processStats        `json:"process"`
 	}{
 		Stats:        s.def.Stats().Oracle,
 		UptimeNS:     time.Since(s.start),
@@ -637,6 +707,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		HTTPErrors:   s.errs.Load(),
 		GraphUploads: s.graphs.Load(),
 		Manager:      s.mgr.Stats(),
+		Process:      readProcessStats(s.start),
 	})
 }
 
@@ -652,11 +723,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	build, revision := buildInfo()
 	_ = json.NewEncoder(w).Encode(struct {
-		Ready   bool   `json:"ready"`
-		Version uint64 `json:"version"`
-		Graphs  int    `json:"graphs"`
-	}{Ready: ready, Version: s.def.Version(), Graphs: len(s.mgr.Names())})
+		Ready    bool   `json:"ready"`
+		Version  uint64 `json:"version"`
+		Graphs   int    `json:"graphs"`
+		Build    string `json:"build"`
+		Revision string `json:"revision"`
+	}{Ready: ready, Version: s.def.Version(), Graphs: len(s.mgr.Names()),
+		Build: build, Revision: revision})
 }
 
 // ---- multi-tenant routes ----
@@ -717,7 +792,7 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			// read error invites the same destructive re-create.
 			names, err := s.snaps.Tenants()
 			if err != nil {
-				s.fail(w, http.StatusInternalServerError, fmt.Errorf("listing persisted tenants: %w", err))
+				s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("listing persisted tenants: %w", err))
 				return
 			}
 			for _, name := range names {
@@ -726,7 +801,7 @@ func (s *server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 				}
 				onDisk, perr := s.snapshotOnDisk(name)
 				if perr != nil {
-					s.fail(w, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
+					s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
 					return
 				}
 				if onDisk {
@@ -763,41 +838,41 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
 	if err := decodeStrict(body, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("create body: %w", err))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("create body: %w", err))
 		return
 	}
 	if !store.ValidTenantName(req.Name) {
-		s.fail(w, http.StatusBadRequest,
+		s.fail(w, r, http.StatusBadRequest,
 			fmt.Errorf("tenant name %q: want 1-64 of [a-zA-Z0-9._-], starting alphanumeric", req.Name))
 		return
 	}
 	if req.Algorithm != "" && !algorithmRegistered(req.Algorithm) {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (see GET /v1/graphs or ccapsp -list)", req.Algorithm))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (see GET /v1/graphs or ccapsp -list)", req.Algorithm))
 		return
 	}
 	if req.MaxNodes < 0 || req.Eps < 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("max_nodes and eps must be nonnegative"))
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("max_nodes and eps must be nonnegative"))
 		return
 	}
 	if req.Key != "" {
 		if s.auth == nil {
 			// Accepting and silently ignoring a key would leave the caller
 			// believing the tenant is protected when every route is open.
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("key set but the server runs without -keys: authentication is disabled"))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("key set but the server runs without -keys: authentication is disabled"))
 			return
 		}
 		// A key that already resolves to someone else would never identify
 		// this tenant (the existing owner wins the lookup) — reject it
 		// rather than hand out a credential that silently does not work.
 		if id, ok := s.auth.identify(req.Key); ok && (id.admin || id.tenant != req.Name) {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("key already in use by another identity"))
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("key already in use by another identity"))
 			return
 		}
 	}
 	var quota oracle.Quota
 	if req.Quota != nil {
 		if err := req.Quota.Validate(); err != nil {
-			s.fail(w, http.StatusBadRequest, err)
+			s.fail(w, r, http.StatusBadRequest, err)
 			return
 		}
 		quota = *req.Quota
@@ -816,7 +891,7 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 		// fail() maps the client-caused sentinels (exists → 409, over
 		// capacity → 429, closed → 503); what remains — e.g. a failed wipe
 		// of a previous incarnation's files — is a server-side fault.
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	// Always overwrite: a previous incarnation of the name (evicted with
@@ -831,7 +906,8 @@ func (s *server) createTenant(w http.ResponseWriter, r *http.Request) {
 	if req.Key != "" {
 		s.auth.setAPIKey(req.Name, req.Key)
 	}
-	s.logf("tenant %q created (algorithm=%q)", req.Name, req.Algorithm)
+	s.log.Info("tenant created", "tenant", req.Name, "algorithm", req.Algorithm,
+		"id", requestIDFrom(r.Context()))
 	s.writeJSON(w, http.StatusCreated, summarize(t.Stats()))
 }
 
@@ -881,7 +957,7 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 				if perr != nil {
 					// Could not tell: a 404 here could steer the client into
 					// a re-create that replaces a persisted incarnation.
-					s.fail(w, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
+					s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("probing persisted snapshots of %q: %w", name, perr))
 					return
 				}
 				if onDisk {
@@ -890,12 +966,12 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 					s.writeJSON(w, http.StatusOK, tenantSummary{Name: name, Evicted: true, Tier: "cold"})
 					return
 				}
-				s.fail(w, http.StatusInternalServerError, err)
+				s.fail(w, r, http.StatusInternalServerError, err)
 				return
 			}
 			s.writeJSON(w, http.StatusOK, summarize(t.Stats()))
 		case http.MethodDelete:
-			s.deleteTenant(w, name)
+			s.deleteTenant(w, r, name)
 		default:
 			s.requireMethod(w, r, http.MethodGet, http.MethodDelete)
 		}
@@ -942,7 +1018,7 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		// fail() maps a genuinely absent tenant to 404; anything else — a
 		// corrupt snapshot or I/O failure during rehydration — is a server
 		// fault the client must not mistake for "no such tenant".
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	serve(w, r, t)
@@ -954,9 +1030,9 @@ func (s *server) tenantStats(w http.ResponseWriter, r *http.Request, t *oracle.T
 }
 
 // DELETE /v1/graphs/{name}
-func (s *server) deleteTenant(w http.ResponseWriter, name string) {
+func (s *server) deleteTenant(w http.ResponseWriter, r *http.Request, name string) {
 	if name == defaultTenant {
-		s.fail(w, http.StatusBadRequest,
+		s.fail(w, r, http.StatusBadRequest,
 			fmt.Errorf("the %q tenant backs the single-graph /v1 routes and cannot be deleted", defaultTenant))
 		return
 	}
@@ -981,10 +1057,10 @@ func (s *server) deleteTenant(w http.ResponseWriter, name string) {
 		// fail() maps ErrTenantNotFound to 404; anything else here means the
 		// tenant's persisted snapshots could not be erased — that is a
 		// server-side failure the client must see as one, not as "gone".
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, r, http.StatusInternalServerError, err)
 		return
 	}
-	s.logf("tenant %q deleted", name)
+	s.log.Info("tenant deleted", "tenant", name)
 	s.writeJSON(w, http.StatusOK, struct {
 		Deleted string `json:"deleted"`
 	}{Deleted: name})

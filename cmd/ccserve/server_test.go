@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -124,11 +125,24 @@ func testConfig(lim limits) serverConfig {
 	}
 }
 
+// testLogger routes the server's structured log through t.Logf so failures
+// show the request log interleaved with the test's own output.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 // startServer spins up a real HTTP server on a random loopback port, the
 // same wiring main uses, and returns its base URL.
 func startServer(t *testing.T, cfg serverConfig) string {
 	t.Helper()
-	cfg.logf = t.Logf
+	cfg.log = testLogger(t)
 	handler, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -722,7 +736,7 @@ func TestServerPersistenceAcrossRestart(t *testing.T) {
 		}
 		cfg := testConfig(defaultLimits())
 		cfg.snapshots = snapshots
-		cfg.logf = t.Logf
+		cfg.log = testLogger(t)
 		handler, err := newServer(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -1009,7 +1023,7 @@ func TestServerAuthAndQuotaEndToEnd(t *testing.T) {
 	}`), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	keys, err := loadKeyring(keysPath, t.Logf)
+	keys, err := loadKeyring(keysPath, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,6 +56,24 @@ type TierBench struct {
 	HitsPerS float64 `json:"hits_per_s"`
 }
 
+// ObsBench reports the metrics layer's overhead: label-resolved counter
+// increments (ccserve's per-request hot path) and one full text exposition
+// over a registry of representative size, so instrumenting the serving path
+// provably stays cheap relative to the queries it measures. Filled by
+// ccbench -json (the cmd drives the obs package; this package only carries
+// the shape).
+type ObsBench struct {
+	// Increments is how many vec.With(...).Inc() calls the hot-path loop ran.
+	Increments int     `json:"increments"`
+	IncNS      int64   `json:"inc_ns"`
+	IncPerS    float64 `json:"inc_per_s"`
+	// Series is the number of distinct label combinations the rendered
+	// registry carried; RenderBytes the size of its exposition.
+	Series      int   `json:"series"`
+	RenderNS    int64 `json:"render_ns"`
+	RenderBytes int   `json:"render_bytes"`
+}
+
 // JSONReport is the top-level document: the suite configuration and every
 // experiment that ran.
 type JSONReport struct {
@@ -67,6 +85,7 @@ type JSONReport struct {
 	Experiments []JSONExperiment `json:"experiments"`
 	Store       *StoreBench      `json:"store,omitempty"`
 	Tier        *TierBench       `json:"tier,omitempty"`
+	Obs         *ObsBench        `json:"obs,omitempty"`
 }
 
 // RunJSON executes the selected experiments and assembles the report,

@@ -1,0 +1,406 @@
+// Package obs is a dependency-free metrics registry with Prometheus text
+// exposition. It exists so the serving stack (ccserve, oracle.Manager, the
+// store and tier layers) can publish counters, gauges, and latency
+// histograms to any Prometheus-compatible scraper without pulling a client
+// library into the module.
+//
+// The model is deliberately small:
+//
+//   - A Registry owns metric families. Families are registered once, up
+//     front, with a fixed name, help string, and label-name list.
+//   - Counter/Gauge/Histogram families are label VECTORS: With(values...)
+//     resolves (and lazily creates) the series for one label-value tuple.
+//     Series handles are safe to cache and safe for concurrent use — all
+//     updates are atomic.
+//   - OnScrape hooks run at the start of every exposition, before any
+//     family is rendered. They are the bridge for values owned by other
+//     structs (ManagerStats occupancy, tier cache sizes, runtime stats):
+//     sample once per scrape, Set the gauges, and the render that follows
+//     sees a consistent snapshot. Hooks must not register new families.
+//
+// Exposition (Registry.Expose / Registry.Handler) renders the text format
+// scrapers expect: families sorted by name, series sorted by label values,
+// HELP/label-value escaping, and cumulative histogram buckets ending in
+// le="+Inf". Output is deterministic for a fixed set of values, which the
+// tests rely on.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, wide enough to
+// cover both sub-millisecond query serving and multi-second pipeline
+// phases. Values above the last bucket land in le="+Inf".
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a set of metric families plus the scrape hooks that refresh
+// bridged values. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one registered metric: fixed identity plus the live series map.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogram only, strictly increasing
+
+	mu     sync.Mutex
+	series map[string]*series // key: label values joined with 0xff
+}
+
+// series is one label-value tuple's state. Counters and gauges use val;
+// histograms use counts (per-bucket, non-cumulative, last slot is +Inf)
+// plus sum. All fields are atomics so updates never take the family lock.
+type series struct {
+	values []string
+	val    atomicFloat
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+// atomicFloat is a float64 updated via CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (r *Registry) register(name, help string, k kind, buckets []float64, labels []string) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	if k == kindHistogram {
+		if len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %s: no buckets", name))
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s: buckets not strictly increasing at %v", name, buckets[i]))
+			}
+		}
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    k,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers a monotonically increasing counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge registers a settable gauge family. Gauges are the exposition type
+// for every value sampled at scrape time, including bridged totals that
+// happen to be monotonic in the source struct.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram registers a histogram family with the given upper bounds
+// (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, kindHistogram, buckets, labels)}
+}
+
+// OnScrape registers fn to run at the start of every exposition, before
+// families render. Hooks run serially in registration order and must not
+// register families or call Expose.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+const keySep = "\xff"
+
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s: got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, keySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{values: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// CounterVec is a counter family; With resolves one series.
+type CounterVec struct{ fam *family }
+
+// Counter is one counter series.
+type Counter struct{ s *series }
+
+// With returns the series for the given label values, creating it on first
+// use. The handle may be cached.
+func (v *CounterVec) With(values ...string) Counter { return Counter{v.fam.with(values)} }
+
+// Inc adds 1.
+func (c Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds d, which must be non-negative.
+func (c Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter Add with negative delta")
+	}
+	c.s.val.Add(d)
+}
+
+// Value returns the current count (primarily for tests).
+func (c Counter) Value() float64 { return c.s.val.Load() }
+
+// GaugeVec is a gauge family; With resolves one series.
+type GaugeVec struct{ fam *family }
+
+// Gauge is one gauge series.
+type Gauge struct{ s *series }
+
+// With returns the series for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) Gauge { return Gauge{v.fam.with(values)} }
+
+// Set stores the value.
+func (g Gauge) Set(val float64) { g.s.val.Store(val) }
+
+// Add adjusts the value by d (may be negative).
+func (g Gauge) Add(d float64) { g.s.val.Add(d) }
+
+// Value returns the current value (primarily for tests).
+func (g Gauge) Value() float64 { return g.s.val.Load() }
+
+// HistogramVec is a histogram family; With resolves one series.
+type HistogramVec struct{ fam *family }
+
+// Histogram is one histogram series.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// With returns the series for the given label values, creating it on first
+// use.
+func (v *HistogramVec) With(values ...string) Histogram {
+	return Histogram{v.fam.with(values), v.fam.buckets}
+}
+
+// Observe records one value (seconds, for latency histograms).
+func (h Histogram) Observe(val float64) {
+	i := sort.SearchFloat64s(h.buckets, val) // first bucket with bound >= val
+	h.s.counts[i].Add(1)
+	h.s.sum.Add(val)
+}
+
+// Count returns the total number of observations (primarily for tests).
+func (h Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.s.counts {
+		n += h.s.counts[i].Load()
+	}
+	return n
+}
+
+// Expose renders every family in Prometheus text format, after running the
+// scrape hooks. Families are sorted by name and series by label values, so
+// output order is deterministic.
+func (r *Registry) Expose(w *strings.Builder) {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.expose(w)
+	}
+}
+
+func (f *family) expose(w *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	all := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		all = append(all, f.series[k])
+	}
+	f.mu.Unlock()
+	if len(all) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range all {
+		switch f.kind {
+		case kindCounter, kindGauge:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, s.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(s.val.Load()))
+			w.WriteByte('\n')
+		case kindHistogram:
+			var cum uint64
+			for i, bound := range f.buckets {
+				cum += s.counts[i].Load()
+				w.WriteString(f.name)
+				w.WriteString("_bucket")
+				writeLabels(w, f.labels, s.values, "le", bound)
+				fmt.Fprintf(w, " %d\n", cum)
+			}
+			cum += s.counts[len(f.buckets)].Load()
+			w.WriteString(f.name)
+			w.WriteString("_bucket")
+			writeLabels(w, f.labels, s.values, "le", math.Inf(1))
+			fmt.Fprintf(w, " %d\n", cum)
+			w.WriteString(f.name)
+			w.WriteString("_sum")
+			writeLabels(w, f.labels, s.values, "", 0)
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(s.sum.Load()))
+			w.WriteByte('\n')
+			w.WriteString(f.name)
+			w.WriteString("_count")
+			writeLabels(w, f.labels, s.values, "", 0)
+			fmt.Fprintf(w, " %d\n", cum)
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}, appending an le label when leName is
+// non-empty. No braces are emitted for a label-free series.
+func writeLabels(w *strings.Builder, names, values []string, leName string, le float64) {
+	if len(names) == 0 && leName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(leName)
+		w.WriteString(`="`)
+		w.WriteString(formatFloat(le))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEsc = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEsc = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEsc.Replace(s) }
+func escapeLabel(s string) string { return labelEsc.Replace(s) }
+
+// Handler returns an http.Handler serving the exposition, suitable for
+// mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		r.Expose(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

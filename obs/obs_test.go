@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(r *Registry) string {
+	var b strings.Builder
+	r.Expose(&b)
+	return b.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ccserve_requests_total", "Requests served.", "route", "status")
+	c.With("/v1/dist", "200").Inc()
+	c.With("/v1/dist", "200").Add(2)
+	c.With("/v1/batch", "429").Inc()
+	got := expose(r)
+	want := `# HELP ccserve_requests_total Requests served.
+# TYPE ccserve_requests_total counter
+ccserve_requests_total{route="/v1/batch",status="429"} 1
+ccserve_requests_total{route="/v1/dist",status="200"} 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("weird_total", "help with \\ and\nnewline", "name")
+	c.With("a\"b\\c\nd").Inc()
+	got := expose(r)
+	if !strings.Contains(got, `# HELP weird_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `weird_total{name="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+}
+
+func TestUnlabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("up", "Always one.")
+	g.With().Set(1)
+	got := expose(r)
+	if !strings.Contains(got, "\nup 1\n") {
+		t.Errorf("unlabeled gauge should render without braces:\n%s", got)
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}, "route")
+	s := h.With("/x")
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	got := expose(r)
+	wantLines := []string{
+		`lat_seconds_bucket{route="/x",le="0.01"} 2`,
+		`lat_seconds_bucket{route="/x",le="0.1"} 3`,
+		`lat_seconds_bucket{route="/x",le="1"} 4`,
+		`lat_seconds_bucket{route="/x",le="+Inf"} 6`,
+		`lat_seconds_count{route="/x"} 6`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w+"\n") {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+	// Cumulative counts must be non-decreasing and end at _count.
+	var prev uint64
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		prev = n
+	}
+	// Sum of observations: 0.005+0.01+0.05+0.5+2+3 = 5.565
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_sum") {
+			continue
+		}
+		sum, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil || math.Abs(sum-5.565) > 1e-9 {
+			t.Errorf("sum line %q: err=%v", line, err)
+		}
+	}
+}
+
+func TestFamiliesSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z").With().Inc()
+	r.Gauge("aaa", "a").With().Set(2)
+	r.Counter("mmm_total", "m", "t").With("x").Inc()
+	first := expose(r)
+	second := expose(r)
+	if first != second {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	ai := strings.Index(first, "# TYPE aaa ")
+	mi := strings.Index(first, "# TYPE mmm_total ")
+	zi := strings.Index(first, "# TYPE zzz_total ")
+	if !(ai >= 0 && ai < mi && mi < zi) {
+		t.Fatalf("families not sorted by name:\n%s", first)
+	}
+}
+
+func TestOnScrapeHookRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("bridged", "Sampled at scrape.")
+	n := 0
+	r.OnScrape(func() { n++; g.With().Set(float64(n * 10)) })
+	if got := expose(r); !strings.Contains(got, "bridged 10") {
+		t.Errorf("first scrape: %s", got)
+	}
+	if got := expose(r); !strings.Contains(got, "bridged 20") {
+		t.Errorf("second scrape: %s", got)
+	}
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	cases := []func(){
+		func() { r.Counter("bad name", "h") },
+		func() { r.Counter("ok_total", "h", "bad-label") },
+		func() { r.Histogram("h_no_buckets", "h", nil) },
+		func() { r.Histogram("h_unsorted", "h", []float64{1, 1}) },
+		func() {
+			r.Counter("dup_total", "h")
+			r.Counter("dup_total", "h")
+		},
+		func() { r.Counter("argc_total", "h", "a").With("x", "y") },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNegativeCounterAddPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("neg_total", "h").With()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Add")
+		}
+	}()
+	c.Add(-1)
+}
+
+// TestConcurrentScrape hammers every instrument kind from many goroutines
+// while scraping continuously; run under -race this is the data-race guard
+// for the atomic series state and the family/series maps.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", "w")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", DefBuckets, "w")
+	r.OnScrape(func() { g.With().Set(1) })
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = expose(r)
+		}
+	}()
+	wg.Wait()
+	got := expose(r)
+	var total float64
+	for w := 0; w < workers; w++ {
+		total += c.With(string(rune('a' + w))).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("lost increments: %v != %d", total, workers*iters)
+	}
+	if !strings.Contains(got, "# TYPE h_seconds histogram") {
+		t.Fatalf("missing histogram family:\n%s", got)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").With().Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestInfBucketFormatting(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" {
+		t.Fatal("+Inf formatting")
+	}
+	if formatFloat(0.25) != "0.25" {
+		t.Fatalf("0.25 renders as %s", formatFloat(0.25))
+	}
+}

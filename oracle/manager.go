@@ -54,6 +54,10 @@ type ManagerConfig struct {
 	// attempts, tagged with the tenant name. Per-tenant Config.OnRebuild
 	// hooks still fire.
 	OnRebuild func(name string, version uint64, elapsed time.Duration, err error)
+	// OnPhase, when non-nil, observes every tenant's per-phase build timing,
+	// tagged with the tenant name (see Config.OnPhase). Per-tenant
+	// Config.OnPhase hooks still fire.
+	OnPhase func(name, phase string, d time.Duration)
 	// Store, when non-nil, makes the fleet durable: every snapshot a tenant
 	// publishes is saved under the tenant's name, Get rehydrates evicted
 	// tenants from their newest saved snapshot instead of reporting them
@@ -245,6 +249,15 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 				inner(version, elapsed, err)
 			}
 			hook(name, version, elapsed, err)
+		}
+	}
+	if hook := m.cfg.OnPhase; hook != nil {
+		inner := cfg.OnPhase
+		cfg.OnPhase = func(phase string, d time.Duration) {
+			if inner != nil {
+				inner(phase, d)
+			}
+			hook(name, phase, d)
 		}
 	}
 	if m.cfg.Store != nil {

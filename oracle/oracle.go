@@ -78,6 +78,15 @@ type Config struct {
 	// version built, the wall time it took, and nil or the build error. It is
 	// called from the build goroutine and must not block for long.
 	OnRebuild func(version uint64, elapsed time.Duration, err error)
+	// OnPhase, when non-nil, observes every pipeline phase of every build
+	// attempt after the run finishes: the phase name (as reported by the
+	// engine's progress checkpoints) and its wall time. Phases are reported
+	// in execution order, for failed builds too (the phases that completed
+	// before the failure). The oracle installs its own progress recorder on
+	// every run, superseding any cliqueapsp.WithProgress in RunOptions —
+	// consume phase boundaries here instead. Called from the build
+	// goroutine; must not block for long.
+	OnPhase func(phase string, d time.Duration)
 	// OnPublish, when non-nil, observes every snapshot a completed engine
 	// build is about to publish — the persistence hook: the graph and
 	// result it receives are immutable, so they can be encoded to disk
@@ -97,6 +106,46 @@ type Published struct {
 	Version uint64
 	Graph   *cliqueapsp.Graph
 	Result  *cliqueapsp.Result
+}
+
+// PhaseTiming is the wall time of one pipeline phase of a build, in
+// execution order. Phase names come from the engine's progress checkpoints
+// (e.g. "theorem11/knearest"), so the T1/F1-style phase costs ccbench
+// measures offline are observable on a serving build too.
+type PhaseTiming struct {
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// phaseRecorder turns the engine's progress checkpoints into PhaseTimings.
+// Checkpoints fire at phase starts, so mark closes the previously open
+// phase; finish closes the last one when the run returns. The mutex makes
+// it safe regardless of which goroutine the engine fires callbacks from.
+type phaseRecorder struct {
+	mu     sync.Mutex
+	phases []PhaseTiming
+	name   string
+	start  time.Time
+}
+
+func (p *phaseRecorder) mark(phase string) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.name != "" {
+		p.phases = append(p.phases, PhaseTiming{Phase: p.name, Duration: now.Sub(p.start)})
+	}
+	p.name, p.start = phase, now
+}
+
+func (p *phaseRecorder) finish() []PhaseTiming {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.name != "" {
+		p.phases = append(p.phases, PhaseTiming{Phase: p.name, Duration: time.Since(p.start)})
+		p.name = ""
+	}
+	return p.phases
 }
 
 // Pair is one (source, destination) query of a Batch.
@@ -169,6 +218,10 @@ type Stats struct {
 	Rebuilds      uint64        `json:"rebuilds"`
 	RebuildErrors uint64        `json:"rebuild_errors"`
 	LastRebuild   time.Duration `json:"last_rebuild_ns"`
+	// LastBuildPhases is the per-phase wall-time breakdown of the serving
+	// snapshot's build (nil for restored or cold snapshots, which skipped
+	// the engine entirely).
+	LastBuildPhases []PhaseTiming `json:"last_build_phases,omitempty"`
 	// Restores counts snapshots published by RestoreSnapshot — estimates
 	// served without paying for an engine run. Cold restores (restoreCold)
 	// count here too: either way the estimate came from disk, not the engine.
@@ -298,10 +351,11 @@ func (o *Oracle) buildLoop() {
 		o.mu.Unlock()
 
 		start := time.Now()
-		snap, err := o.build(g, v)
+		snap, phases, err := o.build(g, v)
 		elapsed := time.Since(start)
 		if err == nil {
 			snap.buildDur = elapsed // set before publishing: snapshots are immutable once stored
+			snap.phases = phases
 			// The persistence hook runs before the snapshot is stored, so no
 			// query or waiter can observe the version until it is durable.
 			// The previous snapshot keeps serving meanwhile.
@@ -327,21 +381,27 @@ func (o *Oracle) buildLoop() {
 		o.notify = make(chan struct{})
 		o.mu.Unlock()
 
+		if o.cfg.OnPhase != nil {
+			for _, p := range phases {
+				o.cfg.OnPhase(p.Phase, p.Duration)
+			}
+		}
 		if o.cfg.OnRebuild != nil {
 			o.cfg.OnRebuild(v, elapsed, err)
 		}
 	}
 }
 
-// build runs the engine once and wraps the result as a snapshot.
-func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, error) {
+// build runs the engine once and wraps the result as a snapshot, returning
+// the per-phase timing of the run whether or not it succeeded.
+func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, []PhaseTiming, error) {
 	ctx := o.ctx
 	if o.cfg.BuildTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.cfg.BuildTimeout)
 		defer cancel()
 	}
-	opts := make([]cliqueapsp.RunOption, 0, len(o.cfg.RunOptions)+2)
+	opts := make([]cliqueapsp.RunOption, 0, len(o.cfg.RunOptions)+3)
 	if o.cfg.Algorithm != "" {
 		opts = append(opts, cliqueapsp.WithAlgorithm(o.cfg.Algorithm))
 	}
@@ -349,11 +409,16 @@ func (o *Oracle) build(g *cliqueapsp.Graph, version uint64) (*snapshot, error) {
 		opts = append(opts, cliqueapsp.WithEps(o.cfg.Eps))
 	}
 	opts = append(opts, o.cfg.RunOptions...)
+	// The recorder goes last so it always wins: phase timing is serving
+	// infrastructure, not a per-run choice (Config.OnPhase documents this).
+	rec := &phaseRecorder{}
+	opts = append(opts, cliqueapsp.WithProgress(rec.mark))
 	res, err := o.eng.Run(ctx, g, opts...)
+	phases := rec.finish()
 	if err != nil {
-		return nil, err
+		return nil, phases, err
 	}
-	return newSnapshot(version, g, res, &o.cnt), nil
+	return newSnapshot(version, g, res, &o.cnt), phases, nil
 }
 
 // RestoreSnapshot publishes a previously computed (typically persisted and
@@ -640,6 +705,7 @@ func (o *Oracle) Stats() Stats {
 		st.Algorithm = string(s.res.Algorithm)
 		st.FactorBound = s.res.FactorBound
 		st.LastRebuild = s.buildDur
+		st.LastBuildPhases = s.phases
 		if s.cold != nil {
 			st.Tier = "cold"
 			cs := s.cold.Stats()

@@ -1,0 +1,159 @@
+package oracle_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/congestedclique/cliqueapsp/oracle"
+)
+
+// TestBuildPhaseTimings drives a build through an algorithm with a known
+// minimum runtime and checks that the phase breakdown lands both in the
+// OnPhase hook and in Stats().LastBuildPhases, with durations that account
+// for the work actually done.
+func TestBuildPhaseTimings(t *testing.T) {
+	var mu sync.Mutex
+	var hooked []oracle.PhaseTiming
+	o := oracle.New(oracle.Config{
+		Algorithm: "test-slow",
+		OnPhase: func(phase string, d time.Duration) {
+			mu.Lock()
+			hooked = append(hooked, oracle.PhaseTiming{Phase: phase, Duration: d})
+			mu.Unlock()
+		},
+	})
+	defer o.Close()
+
+	v, err := o.SetGraph(pathGraph(t, 6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, o, v)
+
+	st := o.Stats()
+	if len(st.LastBuildPhases) == 0 {
+		t.Fatal("Stats().LastBuildPhases empty after a build")
+	}
+	// The registry fires a checkpoint named after the algorithm before
+	// invoking its runner, so the run's 30ms sleep is attributed to the
+	// "test-slow" phase.
+	var slow *oracle.PhaseTiming
+	var total time.Duration
+	for i := range st.LastBuildPhases {
+		p := &st.LastBuildPhases[i]
+		if p.Duration < 0 {
+			t.Fatalf("negative phase duration: %+v", *p)
+		}
+		total += p.Duration
+		if p.Phase == "test-slow" {
+			slow = p
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no test-slow phase in %+v", st.LastBuildPhases)
+	}
+	if slow.Duration < 25*time.Millisecond {
+		t.Fatalf("test-slow phase %v, want >= ~30ms", slow.Duration)
+	}
+	if total > st.LastRebuild+50*time.Millisecond {
+		t.Fatalf("phase total %v exceeds build time %v", total, st.LastRebuild)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hooked) != len(st.LastBuildPhases) {
+		t.Fatalf("OnPhase saw %d phases, stats carry %d", len(hooked), len(st.LastBuildPhases))
+	}
+	for i, p := range hooked {
+		if p != st.LastBuildPhases[i] {
+			t.Fatalf("OnPhase[%d] = %+v, stats %+v", i, p, st.LastBuildPhases[i])
+		}
+	}
+}
+
+// TestManagerOnPhaseTagsTenant checks the Manager-level hook fires with the
+// tenant name and that per-tenant breakdowns stay separate.
+func TestManagerOnPhaseTagsTenant(t *testing.T) {
+	type tagged struct {
+		name, phase string
+	}
+	var mu sync.Mutex
+	var seen []tagged
+	m := oracle.NewManager(oracle.ManagerConfig{
+		Base: oracle.Config{Algorithm: "test-exact"},
+		OnPhase: func(name, phase string, d time.Duration) {
+			mu.Lock()
+			seen = append(seen, tagged{name, phase})
+			mu.Unlock()
+		},
+	})
+	defer m.Close()
+
+	a := mustTenant(t, m, "a", oracle.TenantConfig{})
+	b := mustTenant(t, m, "b", oracle.TenantConfig{Algorithm: "test-slow"})
+	setAndWait(t, a, pathGraph(t, 4, 1))
+	setAndWait(t, b, pathGraph(t, 4, 1))
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[tagged]bool{
+		{"a", "test-exact"}: false,
+		{"b", "test-slow"}:  false,
+	}
+	for _, s := range seen {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for k, ok := range want {
+		if !ok {
+			t.Errorf("OnPhase never saw %+v (got %+v)", k, seen)
+		}
+	}
+
+	if st := a.Stats(); len(st.Oracle.LastBuildPhases) == 0 || st.Oracle.LastBuildPhases[0].Phase != "test-exact" {
+		t.Errorf("tenant a phases = %+v", st.Oracle.LastBuildPhases)
+	}
+}
+
+// TestFailedBuildReportsPhases: phases completed before a failure still
+// reach OnPhase, but never Stats (no snapshot was published).
+func TestFailedBuildReportsPhases(t *testing.T) {
+	var mu sync.Mutex
+	var phases []string
+	o := oracle.New(oracle.Config{
+		Algorithm:    "test-slow",
+		BuildTimeout: 5 * time.Millisecond, // well under test-slow's 30ms sleep
+		OnPhase: func(phase string, d time.Duration) {
+			mu.Lock()
+			phases = append(phases, phase)
+			mu.Unlock()
+		},
+	})
+	defer o.Close()
+	v, err := o.SetGraph(pathGraph(t, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := o.Wait(ctx, v); err == nil {
+		t.Fatal("build should have timed out")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, p := range phases {
+		if p == "test-slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failed build reported phases %v, want test-slow present", phases)
+	}
+	if st := o.Stats(); len(st.LastBuildPhases) != 0 {
+		t.Fatalf("no snapshot published, but LastBuildPhases = %+v", st.LastBuildPhases)
+	}
+}

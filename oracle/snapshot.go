@@ -26,6 +26,7 @@ type snapshot struct {
 	version  uint64
 	builtAt  time.Time
 	buildDur time.Duration
+	phases   []PhaseTiming      // per-phase build breakdown; nil for restores
 	g        *cliqueapsp.Graph  // nil when cold: the graph decodes lazily
 	res      *cliqueapsp.Result // cold: provenance only, Distances nil
 	n        int
