@@ -13,8 +13,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -23,7 +25,9 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/experiments"
+	"github.com/congestedclique/cliqueapsp/internal/minplus"
 	"github.com/congestedclique/cliqueapsp/internal/registry"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/obs"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
@@ -94,6 +98,11 @@ func main() {
 		}
 		report.Tier = tb
 		report.Obs = benchObs()
+		kb, err := benchKernel(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		report.Kernel = kb
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -300,6 +309,90 @@ func benchObs() *experiments.ObsBench {
 		RenderNS:    renderNS,
 		RenderBytes: sb.Len(),
 	}
+}
+
+// kernelSizes are the matrix sizes the kernel suite measures: one L2-scale
+// product and one big enough (8 MiB per operand) that tiling and the worker
+// sweep both matter. CI gates tiled+pooled speedup at the larger size.
+var kernelSizes = [...]int{256, 1024}
+
+// kernelDense builds a deterministic random min-plus matrix shaped like the
+// pipelines' distance matrices: zero diagonal, ~2/3 finite entries.
+func kernelDense(n int, rng *rand.Rand) *minplus.Dense {
+	d := minplus.NewDense(n)
+	d.SetDiagZero()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(3) != 0 {
+				d.Set(i, j, int64(rng.Intn(50)+1))
+			}
+		}
+	}
+	return d
+}
+
+// benchKernel times the min-plus dense kernel: the retained untiled
+// single-thread reference (MulNaive) against the tiled, pool-scheduled
+// MulTo across a worker sweep (1, 2, 4, … up to the shared pool). Reported
+// throughput is GFLOP-equivalent at 2·n³ semiring ops per product; the
+// speedup column is the CI regression gate for the compute path.
+func benchKernel(seed int64) (*experiments.KernelBench, error) {
+	pool := sched.Shared()
+	kb := &experiments.KernelBench{PoolWorkers: pool.Workers()}
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range kernelSizes {
+		a, b := kernelDense(n, rng), kernelDense(n, rng)
+		gflop := 2 * float64(n) * float64(n) * float64(n) / 1e9
+
+		start := time.Now()
+		want := a.MulNaive(b)
+		naiveNS := time.Since(start).Nanoseconds()
+
+		size := experiments.KernelSize{
+			N:        n,
+			NaiveNS:  naiveNS,
+			NaiveGFs: gflop / (float64(naiveNS) / 1e9),
+		}
+		dst := minplus.NewDense(n)
+		for w := 1; ; w *= 2 {
+			if w > pool.Workers() {
+				if prev := w / 2; prev < pool.Workers() {
+					w = pool.Workers() // always end the sweep at the full pool
+				} else {
+					break
+				}
+			}
+			g := pool.Group(context.Background(), w)
+			best := int64(0)
+			for rep := 0; rep < 2; rep++ {
+				start = time.Now()
+				if err := a.MulTo(g, dst, b); err != nil {
+					return nil, err
+				}
+				if ns := time.Since(start).Nanoseconds(); best == 0 || ns < best {
+					best = ns
+				}
+			}
+			if !dst.Equal(want) {
+				return nil, fmt.Errorf("kernel bench: tiled product diverges from naive at n=%d w=%d", n, w)
+			}
+			point := experiments.KernelWorkers{
+				Workers: w,
+				NS:      best,
+				GFLOPs:  gflop / (float64(best) / 1e9),
+				Speedup: float64(naiveNS) / float64(best),
+			}
+			size.Tiled = append(size.Tiled, point)
+			if point.Speedup > size.SpeedupMax {
+				size.SpeedupMax = point.Speedup
+			}
+			if w >= pool.Workers() {
+				break
+			}
+		}
+		kb.Sizes = append(kb.Sizes, size)
+	}
+	return kb, nil
 }
 
 func fatal(err error) {

@@ -127,6 +127,8 @@ func main() {
 		maxBody      = flag.Int64("maxbody", 32<<20, "request body limit in bytes")
 		maxGraphs    = flag.Int("maxgraphs", 64, "most hosted graphs; LRU-evicts idle tenants when full (0 = unlimited)")
 		maxTotalN    = flag.Int("maxtotaln", 65536, "summed node budget across all hosted graphs (0 = unlimited)")
+		buildPar     = flag.Int("buildpar", 0, "concurrent tenant rebuilds; extra builds queue at the admission gate (0 = NumCPU, negative = unlimited)")
+		kernelPar    = flag.Int("kernelpar", 0, "shared-pool workers each rebuild's min-plus kernels may use (0 = whole pool)")
 		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
 		slowQuery    = flag.Duration("slowquery", time.Second, "log requests slower than this at warning level (0 = off)")
@@ -183,6 +185,8 @@ func main() {
 		maxTotalNodes: *maxTotalN,
 		snapshots:     snapshots,
 		coldCacheRows: *coldCache,
+		buildPar:      *buildPar,
+		kernelPar:     *kernelPar,
 		keys:          keys,
 		base: oracle.Config{
 			Algorithm:    cliqueapsp.Algorithm(*alg),
@@ -248,6 +252,7 @@ func main() {
 		}
 		logger.Info("serving", "addr", *addr, "alg", *alg, "maxn", *maxN,
 			"maxbatch", *maxBatch, "maxgraphs", *maxGraphs, "maxtotaln", *maxTotalN,
+			"buildpar", *buildPar, "kernelpar", *kernelPar,
 			"datadir", persist, "coldcache", *coldCache, "keys", auth,
 			"slowquery", *slowQuery)
 		errc <- srv.ListenAndServe()

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/obs"
 )
 
@@ -65,6 +66,12 @@ func (s *server) registerCollectors(reg *obs.Registry) {
 	proc := reg.Gauge("ccserve_process",
 		"Process runtime state: uptime, goroutines, heap, GC totals.",
 		"stat")
+	pool := reg.Gauge("ccserve_pool",
+		"Shared compute pool: worker budget, in-flight kernel tasks, lifetime completions.",
+		"stat")
+	builds := reg.Gauge("ccserve_builds",
+		"Fleet build admission: configured concurrency, running/queued builds, admissions, queue wait.",
+		"stat")
 	reg.OnScrape(func() {
 		st := s.mgr.Stats()
 		for stat, v := range map[string]float64{
@@ -105,6 +112,23 @@ func (s *server) registerCollectors(reg *obs.Registry) {
 			"capacity_rows": float64(capacity),
 		} {
 			rowCache.With(stat).Set(v)
+		}
+		pst := sched.Shared().Stats()
+		for stat, v := range map[string]float64{
+			"workers":         float64(pst.Workers),
+			"in_flight":       float64(pst.InFlight),
+			"tasks_completed": float64(pst.Completed),
+		} {
+			pool.With(stat).Set(v)
+		}
+		for stat, v := range map[string]float64{
+			"concurrency":        float64(st.BuildConcurrency),
+			"running":            float64(st.BuildsRunning),
+			"queued":             float64(st.BuildsQueued),
+			"admitted":           float64(st.BuildsAdmitted),
+			"wait_seconds_total": float64(st.BuildWaitNS) / 1e9,
+		} {
+			builds.With(stat).Set(v)
 		}
 		ps := readProcessStats(s.start)
 		for stat, v := range map[string]float64{

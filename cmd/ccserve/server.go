@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,6 +48,8 @@ type serverConfig struct {
 	maxTotalNodes int           // summed node budget across graphs (0 = unlimited)
 	snapshots     *store.Dir    // nil = no persistence (-datadir unset)
 	coldCacheRows int           // hot-row cache rows per cold tenant (0 = tiering off)
+	buildPar      int           // concurrent tenant builds (-buildpar; 0 = NumCPU, < 0 = unlimited)
+	kernelPar     int           // shared-pool workers per build's kernels (-kernelpar; 0 = whole pool)
 	keys          *keyring      // nil = open server (-keys unset)
 	slowQuery     time.Duration // log completed requests over this at warn (-slowquery; 0 = off)
 	base          oracle.Config
@@ -96,10 +99,23 @@ func newServer(cfg serverConfig) (*server, error) {
 		met:   newServerMetrics(reg),
 		tlim:  make(map[string]int),
 	}
+	// Kernel parallelism is an engine default, so every tenant build draws
+	// at most -kernelpar workers from the process-wide pool; build admission
+	// caps how many such builds run at once.
+	buildConc := cfg.buildPar
+	if buildConc == 0 {
+		buildConc = runtime.NumCPU()
+	} else if buildConc < 0 {
+		buildConc = 0 // unlimited
+	}
+	if cfg.base.Engine == nil {
+		cfg.base.Engine = cliqueapsp.New(cliqueapsp.WithParallelism(cfg.kernelPar))
+	}
 	mcfg := oracle.ManagerConfig{
-		MaxGraphs:     cfg.maxGraphs,
-		MaxTotalNodes: cfg.maxTotalNodes,
-		Base:          cfg.base,
+		MaxGraphs:        cfg.maxGraphs,
+		MaxTotalNodes:    cfg.maxTotalNodes,
+		BuildConcurrency: buildConc,
+		Base:             cfg.base,
 		OnEvict: func(name string) {
 			// An evicted tenant with a persisted snapshot is expected back
 			// via rehydration and must return with its max-node cap intact;

@@ -159,6 +159,11 @@ func startServer(t *testing.T, cfg serverConfig) string {
 		_ = srv.Serve(ln) // returns ErrServerClosed on Shutdown
 	}()
 	t.Cleanup(func() {
+		// Drop the default client's pooled connections first: a spare conn
+		// from the transport's dial race never carries a request, and the
+		// server can't reap a StateNew conn until it is 5s old (go#22682) —
+		// Shutdown would burn its whole budget waiting on it.
+		http.DefaultClient.CloseIdleConnections()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

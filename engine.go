@@ -12,6 +12,7 @@ import (
 	"github.com/congestedclique/cliqueapsp/internal/core"
 	"github.com/congestedclique/cliqueapsp/internal/graph"
 	"github.com/congestedclique/cliqueapsp/internal/registry"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 )
 
 // Engine executes the registered algorithms. One Engine is safe for
@@ -54,6 +55,14 @@ func WithDeterministic(det bool) Option {
 	return func(e *Engine) { e.defaults.deterministic = det }
 }
 
+// WithParallelism caps the number of shared-pool workers the engine's
+// kernels may use per run (the default for every Run). n ≤ 0 or above the
+// pool size means the whole pool; 1 forces serial kernels. The cap budgets
+// draw from the process-wide pool — it never spawns extra goroutines.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.defaults.par = n }
+}
+
 // WithBaseSeed sets the base of the engine's per-run seed derivation.
 // Runs that do not pin a seed with WithSeed draw distinct, reproducible
 // seeds derived from this base and a per-engine counter.
@@ -83,6 +92,7 @@ type runConfig struct {
 	deterministic bool
 	seed          *int64
 	progress      ProgressFunc
+	par           int
 }
 
 // RunOption configures a single Engine.Run call.
@@ -118,6 +128,12 @@ func WithBandwidth(words int) RunOption {
 // WithDeterministicRun toggles fully deterministic mode for this run.
 func WithDeterministicRun(det bool) RunOption {
 	return func(c *runConfig) { c.deterministic = det }
+}
+
+// WithParallelismRun overrides the engine's kernel-parallelism cap for this
+// run only (see WithParallelism).
+func WithParallelismRun(n int) RunOption {
+	return func(c *runConfig) { c.par = n }
 }
 
 // ProgressFunc observes phase boundaries of a run. It is called
@@ -198,6 +214,7 @@ func (e *Engine) Run(ctx context.Context, g *Graph, opts ...RunOption) (*Result,
 		Deterministic: rc.deterministic,
 		Ctx:           ctx,
 		Progress:      rc.progress,
+		Par:           sched.Shared().Group(ctx, rc.par),
 	}
 	params := registry.Params{T: rc.t}
 	inner := func(c *cc.Clique, gg *graph.Graph, cf core.Config) (core.Estimate, error) {

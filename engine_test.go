@@ -394,3 +394,47 @@ func BenchmarkEngineRunParallel(b *testing.B) {
 		}
 	})
 }
+
+// Kernel parallelism is a performance knob, never a semantic one: the same
+// seeded run must produce identical distances and accounting whether the
+// kernels run serially or across the whole shared pool, at construction
+// default or per-run override.
+func TestEngineParallelismEquivalence(t *testing.T) {
+	g := RandomGraph(48, 25, 9)
+	ctx := context.Background()
+
+	wide, err := New().Run(ctx, g, WithAlgorithm(AlgExact), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRun, err := New().Run(ctx, g,
+		WithAlgorithm(AlgExact), WithSeed(7), WithParallelismRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDefault, err := New(WithParallelism(1)).Run(ctx, g,
+		WithAlgorithm(AlgExact), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, res := range []*Result{serialRun, serialDefault} {
+		if res.Rounds != wide.Rounds || res.Messages != wide.Messages {
+			t.Fatalf("accounting differs across parallelism: %d/%d vs %d/%d",
+				res.Rounds, res.Messages, wide.Rounds, wide.Messages)
+		}
+		assertSameDistances(t, wide.Distances, res.Distances)
+	}
+
+	// The randomized pipeline too: parallelism must not perturb the RNG.
+	w2, err := New().Run(ctx, g, WithAlgorithm(AlgConstant), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New().Run(ctx, g,
+		WithAlgorithm(AlgConstant), WithSeed(11), WithParallelismRun(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDistances(t, w2.Distances, s2.Distances)
+}

@@ -57,8 +57,9 @@ func BruteForce(clq *cc.Clique, g *graph.Graph) Estimate {
 // squaring of the weighted adjacency matrix, charging ⌈n^{1/3}⌉ rounds per
 // product per the CKK+19 semiring matrix multiplication algorithm. It is
 // exact and needs Θ(log n) products, so its round cost grows polynomially
-// with n — the contrast row in the benchmark tables.
-func ExactCliqueAPSP(clq *cc.Clique, g *graph.Graph) Estimate {
+// with n — the contrast row in the benchmark tables. The squaring runs on
+// cfg.Par, so a cancelled run aborts mid-product.
+func ExactCliqueAPSP(clq *cc.Clique, g *graph.Graph, cfg Config) (Estimate, error) {
 	clq.Phase("exact-squaring")
 	n := g.N()
 	a := minplus.NewDense(n)
@@ -74,12 +75,15 @@ func ExactCliqueAPSP(clq *cc.Clique, g *graph.Graph) Estimate {
 		a.Clamp(g.Cap())
 		a.SetDiagZero()
 	}
-	fix, squarings := a.PowerFixpoint(2 * n)
+	fix, squarings, err := a.PowerFixpointCtx(cfg.Par, 2*n)
+	if err != nil {
+		return Estimate{}, err
+	}
 	if squarings < 1 {
 		squarings = 1
 	}
 	clq.ChargeRounds(int64(squarings) * minplus.DenseMatMulRounds(n))
-	return Estimate{D: fix, Factor: 1}
+	return Estimate{D: fix, Factor: 1}, nil
 }
 
 // MeasureQuality compares an estimate against exact distances, returning the

@@ -33,6 +33,7 @@ import (
 
 	"github.com/congestedclique/cliqueapsp/internal/graph"
 	"github.com/congestedclique/cliqueapsp/internal/minplus"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 )
 
 // Estimate is a distance estimate together with its proven guarantee.
@@ -68,6 +69,11 @@ type Config struct {
 	// boundary, before the cancellation check. It must be safe for the
 	// caller's use; pipelines call it synchronously.
 	Progress func(phase string)
+	// Par is the compute group the pipelines hand to the min-plus kernels:
+	// it bounds kernel parallelism and carries the run's context into the
+	// tiles, so a cancelled run aborts mid-product instead of at the next
+	// phase boundary. Nil falls back to the shared pool at full width.
+	Par *sched.Group
 }
 
 // Checkpoint marks a phase boundary: it fires the Progress callback and

@@ -97,7 +97,10 @@ func TestExactCliqueAPSP(t *testing.T) {
 	rng := rand.New(rand.NewSource(84))
 	g := graph.RandomConnected(48, 4, graph.WeightRange{Min: 1, Max: 25}, rng)
 	clq := cc.New(g.N(), 1)
-	est := ExactCliqueAPSP(clq, g)
+	est, err := ExactCliqueAPSP(clq, g, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !est.D.Equal(g.ExactAPSP()) {
 		t.Fatal("squaring baseline not exact")
 	}
@@ -419,7 +422,10 @@ func TestExactCliqueAPSPOnCappedGraph(t *testing.T) {
 	g := graph.RandomConnected(24, 3, graph.WeightRange{Min: 1, Max: 30}, rng)
 	g.SetCap(12)
 	clq := cc.New(g.N(), 1)
-	est := ExactCliqueAPSP(clq, g)
+	est, err := ExactCliqueAPSP(clq, g, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !est.D.Equal(g.ExactAPSP()) {
 		t.Fatal("capped exact squaring mismatch")
 	}
@@ -430,7 +436,7 @@ func TestWithZeroWeightsExactSquaringInner(t *testing.T) {
 	g, _ := graph.ZeroClusters(40, 5, graph.WeightRange{Min: 1, Max: 15}, rng)
 	clq := cc.New(g.N(), 1)
 	est, err := WithZeroWeights(clq, g, testConfig(15), func(c *cc.Clique, cg *graph.Graph, cf Config) (Estimate, error) {
-		return ExactCliqueAPSP(c, cg), nil
+		return ExactCliqueAPSP(c, cg, cf)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -74,6 +74,38 @@ type ObsBench struct {
 	RenderBytes int   `json:"render_bytes"`
 }
 
+// KernelWorkers is one point of a KernelSize's worker sweep: the tiled
+// kernel's throughput at a given worker cap, and its speedup over the
+// untiled single-thread baseline of the same size.
+type KernelWorkers struct {
+	Workers int     `json:"workers"`
+	NS      int64   `json:"ns"`
+	GFLOPs  float64 `json:"gflops"`
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelSize is one matrix size of the kernel suite: the naive baseline and
+// the tiled kernel across a worker sweep. GFLOP-equivalent throughput
+// charges 2·n³ semiring operations (one add + one min per (i,k,j) triple)
+// per product.
+type KernelSize struct {
+	N          int             `json:"n"`
+	NaiveNS    int64           `json:"naive_ns"`
+	NaiveGFs   float64         `json:"naive_gflops"`
+	Tiled      []KernelWorkers `json:"tiled"`
+	SpeedupMax float64         `json:"speedup_max"`
+}
+
+// KernelBench reports the min-plus dense kernel's throughput: the retained
+// untiled single-thread reference against the tiled, pool-scheduled kernel
+// across worker counts — the regression gate for the compute path every
+// pipeline bottoms out in. Filled by ccbench -json (the cmd drives the
+// minplus and sched packages; this package only carries the shape).
+type KernelBench struct {
+	PoolWorkers int          `json:"pool_workers"`
+	Sizes       []KernelSize `json:"sizes"`
+}
+
 // JSONReport is the top-level document: the suite configuration and every
 // experiment that ran.
 type JSONReport struct {
@@ -86,6 +118,7 @@ type JSONReport struct {
 	Store       *StoreBench      `json:"store,omitempty"`
 	Tier        *TierBench       `json:"tier,omitempty"`
 	Obs         *ObsBench        `json:"obs,omitempty"`
+	Kernel      *KernelBench     `json:"kernel,omitempty"`
 }
 
 // RunJSON executes the selected experiments and assembles the report,

@@ -2,11 +2,10 @@ package graph
 
 import (
 	"container/heap"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/congestedclique/cliqueapsp/internal/minplus"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 )
 
 // Dijkstra returns the single-source shortest distances from src over the
@@ -85,33 +84,16 @@ func (g *Graph) HopLimited(src, hops int) []int64 {
 }
 
 // ExactAPSP returns the full distance matrix of the graph, computed by one
-// Dijkstra per source in parallel. This is the centralized ground truth used
-// by tests and benchmarks; it charges no Congested Clique rounds.
+// Dijkstra per source, fanned out over the shared compute pool. This is the
+// centralized ground truth used by tests and benchmarks; it charges no
+// Congested Clique rounds.
 func (g *Graph) ExactAPSP() *minplus.Dense {
 	d := minplus.NewDense(g.n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > g.n {
-		workers = g.n
-	}
-	var wg sync.WaitGroup
-	srcs := make(chan int, g.n)
-	for s := 0; s < g.n; s++ {
-		srcs <- s
-	}
-	close(srcs)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for s := range srcs {
-				row := g.Dijkstra(s)
-				for v, dv := range row {
-					d.Set(s, v, dv)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	_ = sched.Background().ForN(g.n, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			copy(d.Row(s), g.Dijkstra(s))
+		}
+	})
 	return d
 }
 

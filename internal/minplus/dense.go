@@ -2,8 +2,8 @@ package minplus
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 )
 
 // Dense is a dense n×n matrix over the tropical semiring, stored row-major.
@@ -214,15 +214,104 @@ func siftDown(ents []Entry, i int) {
 	}
 }
 
-// Mul returns the distance product d ⋆ o over the tropical semiring:
-// (d⋆o)[i,j] = min_k (d[i,k] + o[k,j]). Rows are processed in parallel.
+// Tile geometry of the blocked kernel. The k×j tile of the right operand
+// (64 × 512 int64s = 256 KiB) stays L2-resident while a panel of rows
+// streams over it, and the destination row segment (4 KiB) stays in L1.
+// mulRowChunk rows per work unit keeps the cancellation poll between tiles
+// on a ~millisecond cadence at n=1024 without starving the cursor.
+const (
+	mulRowChunk = 16
+	mulTileK    = 64
+	mulTileJ    = 512
+)
+
+// MulTo computes the distance product dst = d ⋆ o over the tropical
+// semiring, (d⋆o)[i,j] = min_k (d[i,k] + o[k,j]), into a caller-owned
+// destination: the allocation-free core of Mul/Power/PowerFixpoint. dst
+// must be n×n and distinct from both operands; its previous contents are
+// discarded.
+//
+// The i/k/j loops are cache-blocked and row panels fan out across g (nil =
+// the shared pool, uncancellable). Results are byte-identical to MulNaive.
+// Cancellation is polled between tiles: on a dead context MulTo returns the
+// context's error within milliseconds, leaving dst partially written.
+func (d *Dense) MulTo(g *sched.Group, dst, o *Dense) error {
+	if d.n != o.n {
+		panic(fmt.Sprintf("minplus: dimension mismatch %d vs %d", d.n, o.n))
+	}
+	if dst.n != d.n {
+		panic(fmt.Sprintf("minplus: destination dimension %d, want %d", dst.n, d.n))
+	}
+	if dst == d || dst == o {
+		panic("minplus: MulTo destination aliases an operand")
+	}
+	if g == nil {
+		g = sched.Background()
+	}
+	n := d.n
+	return g.ForN(n, mulRowChunk, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			oi := dst.Row(i)
+			for j := range oi {
+				oi[j] = Inf
+			}
+		}
+		for kb := 0; kb < n; kb += mulTileK {
+			if g.Err() != nil {
+				return
+			}
+			kHi := kb + mulTileK
+			if kHi > n {
+				kHi = n
+			}
+			for jb := 0; jb < n; jb += mulTileJ {
+				jHi := jb + mulTileJ
+				if jHi > n {
+					jHi = n
+				}
+				for i := rlo; i < rhi; i++ {
+					di := d.Row(i)
+					oi := dst.Row(i)[jb:jHi]
+					for k := kb; k < kHi; k++ {
+						dik := di[k]
+						if IsInf(dik) {
+							continue
+						}
+						ok := o.Row(k)[jb:jHi]
+						for j, w := range ok {
+							if s := dik + w; s < oi[j] {
+								oi[j] = s
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Mul returns the distance product d ⋆ o over the tropical semiring,
+// computed by the tiled parallel kernel on the shared pool. Use MulTo with
+// a sched.Group for cancellation and an explicit worker budget.
 func (d *Dense) Mul(o *Dense) *Dense {
+	out := NewDense(d.n)
+	// The background group has no context to cancel, so the error is
+	// structurally nil.
+	_ = d.MulTo(nil, out, o)
+	return out
+}
+
+// MulNaive is the retained reference kernel: the straightforward untiled,
+// single-threaded triple loop the tiled kernel must match byte-for-byte.
+// Property tests and the ccbench .kernel suite compare against it; it is
+// also the single-thread baseline the ≥1.5× kernel speedup gate measures.
+func (d *Dense) MulNaive(o *Dense) *Dense {
 	if d.n != o.n {
 		panic(fmt.Sprintf("minplus: dimension mismatch %d vs %d", d.n, o.n))
 	}
 	n := d.n
 	out := NewDense(n)
-	parallelRows(n, func(i int) {
+	for i := 0; i < n; i++ {
 		di := d.Row(i)
 		oi := out.Row(i)
 		for k := 0; k < n; k++ {
@@ -237,77 +326,84 @@ func (d *Dense) Mul(o *Dense) *Dense {
 				}
 			}
 		}
-	})
+	}
 	return out
 }
 
-// PowerFixpoint returns d^h (tropical) where h is the smallest power of two
-// at which the matrix stops changing, capped at maxExp. It also returns the
-// number of squarings performed. The diagonal is forced to zero first so that
-// powers model h-hop distances.
-func (d *Dense) PowerFixpoint(maxExp int) (*Dense, int) {
+// PowerFixpointCtx returns d^h (tropical) where h is the smallest power of
+// two at which the matrix stops changing, capped at maxExp, along with the
+// number of squarings performed. The diagonal is forced to zero first so
+// that powers model h-hop distances. Squarings ping-pong between two
+// buffers — the whole fixpoint allocates two n×n matrices total instead of
+// one per squaring — and run tiled on g; a cancelled context aborts
+// mid-product with the context's error.
+func (d *Dense) PowerFixpointCtx(g *sched.Group, maxExp int) (*Dense, int, error) {
 	cur := d.Clone()
 	cur.SetDiagZero()
 	squarings := 0
+	var next *Dense
 	for exp := 1; exp < maxExp; exp *= 2 {
-		next := cur.Mul(cur)
+		if next == nil {
+			next = NewDense(d.n)
+		}
+		if err := cur.MulTo(g, next, cur); err != nil {
+			return nil, squarings, err
+		}
 		squarings++
 		if next.Equal(cur) {
-			return next, squarings
+			return next, squarings, nil
 		}
-		cur = next
+		cur, next = next, cur
 	}
-	return cur, squarings
+	return cur, squarings, nil
 }
 
-// Power returns d^h over the tropical semiring via binary exponentiation.
-// h must be ≥ 1.
-func (d *Dense) Power(h int) *Dense {
+// PowerFixpoint is PowerFixpointCtx on the shared pool without
+// cancellation.
+func (d *Dense) PowerFixpoint(maxExp int) (*Dense, int) {
+	out, squarings, _ := d.PowerFixpointCtx(nil, maxExp)
+	return out, squarings
+}
+
+// PowerCtx returns d^h over the tropical semiring via binary
+// exponentiation, h ≥ 1. Like PowerFixpointCtx it rotates three buffers
+// (result, base, spare) instead of allocating per product, runs tiled on g,
+// and aborts mid-product when g's context dies.
+func (d *Dense) PowerCtx(g *sched.Group, h int) (*Dense, error) {
 	if h < 1 {
 		panic(fmt.Sprintf("minplus: invalid exponent %d", h))
 	}
 	result := d.Clone()
 	h--
+	if h == 0 {
+		return result, nil
+	}
 	base := d.Clone()
+	spare := NewDense(d.n)
+	// result, base and spare are always three distinct buffers: each
+	// product writes into spare and swaps it with the operand it replaced.
 	for h > 0 {
 		if h&1 == 1 {
-			result = result.Mul(base)
+			if err := result.MulTo(g, spare, base); err != nil {
+				return nil, err
+			}
+			result, spare = spare, result
 		}
 		h >>= 1
 		if h > 0 {
-			base = base.Mul(base)
+			if err := base.MulTo(g, spare, base); err != nil {
+				return nil, err
+			}
+			base, spare = spare, base
 		}
 	}
-	return result
+	return result, nil
 }
 
-func parallelRows(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
+// Power is PowerCtx on the shared pool without cancellation.
+func (d *Dense) Power(h int) *Dense {
+	out, _ := d.PowerCtx(nil, h)
+	return out
 }
 
 func min64(a, b int64) int64 {

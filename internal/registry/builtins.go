@@ -94,7 +94,7 @@ func init() {
 			if err := cfg.Checkpoint("exact-squaring"); err != nil {
 				return core.Estimate{}, err
 			}
-			return core.ExactCliqueAPSP(clq, g), nil
+			return core.ExactCliqueAPSP(clq, g, cfg)
 		},
 	})
 }

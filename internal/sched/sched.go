@@ -1,0 +1,335 @@
+// Package sched is the process-wide compute scheduler: one bounded worker
+// pool that every parallel kernel draws from, so parallelism is a budgeted,
+// observable resource instead of an emergent side effect of each call site
+// spawning its own GOMAXPROCS goroutines.
+//
+// The design has three pieces:
+//
+//   - Pool — a fixed set of worker goroutines behind a rendezvous channel.
+//     Work is handed off only to an idle worker (TrySubmit); there is no
+//     task queue, so the pool can never accumulate a backlog and the number
+//     of goroutines doing kernel work is bounded by the pool size plus the
+//     callers themselves.
+//   - Group — a context-bound, capped view of a Pool: the handle a single
+//     run (an engine build, a benchmark sweep) uses to fan work out. Its
+//     ForN is the data-parallel primitive under the min-plus kernels: an
+//     atomic cursor over contiguous index ranges, with cancellation checked
+//     between chunks so a dead context stops the fan-out promptly.
+//   - Gate — a counting semaphore with queue-depth and wait-time accounting,
+//     used for coarse admission (how many tenant builds may run at once)
+//     where the pool handles fine-grained fan-out inside each build.
+//
+// All three expose Stats for gauges: pool size, in-flight tasks, and
+// build-queue wait are serving metrics, not internals.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded set of worker goroutines. Construct with NewPool; the
+// zero value is not usable. A Pool is safe for concurrent use.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	inFlight  atomic.Int64
+	completed atomic.Uint64
+	closed    atomic.Bool
+}
+
+// NewPool returns a pool of the given number of workers (≤ 0 means
+// GOMAXPROCS). The workers are started immediately and idle until work is
+// submitted.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func()),
+		quit:    make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case fn := <-p.tasks:
+			p.inFlight.Add(1)
+			fn()
+			p.inFlight.Add(-1)
+			p.completed.Add(1)
+		}
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// TrySubmit hands fn to an idle worker, reporting false when every worker
+// is busy. The tasks channel is a rendezvous (unbuffered), so a false
+// return means the caller should do the work itself — nothing is ever
+// queued behind other tasks.
+func (p *Pool) TrySubmit(fn func()) bool {
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops the workers and waits for in-flight tasks to finish.
+// Idempotent. The shared pool is never closed.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.quit)
+		p.wg.Wait()
+	}
+}
+
+// PoolStats is a point-in-time sample of a pool, shaped for gauges.
+type PoolStats struct {
+	// Workers is the configured pool size (the parallelism budget).
+	Workers int `json:"workers"`
+	// InFlight is how many workers are running a task right now. It can
+	// never exceed Workers: that invariant is what makes the pool a budget.
+	InFlight int `json:"in_flight"`
+	// Completed counts tasks finished over the pool's lifetime.
+	Completed uint64 `json:"tasks_completed"`
+}
+
+// Stats samples the pool.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		InFlight:  int(p.inFlight.Load()),
+		Completed: p.completed.Load(),
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+
+	backgroundOnce  sync.Once
+	backgroundGroup *Group
+)
+
+// Shared returns the process-wide pool (GOMAXPROCS workers, created on
+// first use, never closed). Every layer that does not carry an explicit
+// Group falls back to it, so total kernel parallelism in a process is
+// bounded by one budget regardless of how many engines or tenants run.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// Background returns the shared pool's uncancellable full-width group —
+// the default when a kernel is called without a context. Cached, so
+// hot-path fallbacks don't allocate.
+func Background() *Group {
+	backgroundOnce.Do(func() {
+		backgroundGroup = Shared().Group(context.Background(), 0)
+	})
+	return backgroundGroup
+}
+
+// Group is a context-bound, capped view of a Pool: the per-run handle the
+// kernels fan work out through. A Group is immutable and safe for
+// concurrent use; derive one per run with Pool.Group.
+type Group struct {
+	pool *Pool
+	ctx  context.Context
+	max  int
+}
+
+// Group binds ctx and a worker cap to the pool. max ≤ 0 or above the pool
+// size means the whole pool; a nil ctx means no cancellation.
+func (p *Pool) Group(ctx context.Context, max int) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if max <= 0 || max > p.workers {
+		max = p.workers
+	}
+	return &Group{pool: p, ctx: ctx, max: max}
+}
+
+// Err returns the group's context error (nil while the run is live). Nil
+// receivers are allowed so kernels can poll unconditionally.
+func (g *Group) Err() error {
+	if g == nil {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
+// Max returns the group's worker cap.
+func (g *Group) Max() int { return g.max }
+
+// ForN runs body over [0, n) split into contiguous chunks of the given
+// size, fanning the chunks out across up to Max() workers via an atomic
+// cursor — no per-call index channel, no allocation proportional to n.
+// The calling goroutine always participates; pool workers join only if
+// idle, so concurrent ForN calls degrade to narrower (eventually serial)
+// execution instead of oversubscribing the machine.
+//
+// body may run concurrently and must not assume chunk order. A cancelled
+// context stops new chunks from starting and ForN returns the context's
+// error; chunks already running are the body's own to abort (the kernels
+// poll Err between tiles).
+func (g *Group) ForN(n, chunk int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return g.ctx.Err()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	workers := g.max
+	if c := (n + chunk - 1) / chunk; workers > c {
+		workers = c
+	}
+	if workers <= 1 {
+		// Serial path: zero allocations (AllocsPerRun-pinned).
+		for lo := 0; lo < n; lo += chunk {
+			if err := g.ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+		return g.ctx.Err()
+	}
+
+	var cursor atomic.Int64
+	run := func() {
+		for g.ctx.Err() == nil {
+			lo := int(cursor.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := workers - 1; w > 0; w-- {
+		wg.Add(1)
+		if !g.pool.TrySubmit(func() { defer wg.Done(); run() }) {
+			wg.Done()
+			break // pool saturated: the caller picks up the slack
+		}
+	}
+	run()
+	wg.Wait()
+	return g.ctx.Err()
+}
+
+// Gate is a counting semaphore with queue accounting: the admission control
+// in front of expensive operations (tenant builds). A nil *Gate is valid
+// and admits everything, so call sites need no gating-configured branch.
+type Gate struct {
+	slots chan struct{}
+
+	queued   atomic.Int64
+	acquired atomic.Uint64
+	waitNS   atomic.Int64
+}
+
+// NewGate returns a gate admitting at most slots holders at once, or nil
+// (unbounded) for slots ≤ 0.
+func NewGate(slots int) *Gate {
+	if slots <= 0 {
+		return nil
+	}
+	return &Gate{slots: make(chan struct{}, slots)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, charging the time
+// spent blocked to the gate's wait accounting. Release must be called once
+// per successful Acquire.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.acquired.Add(1)
+		return nil
+	default:
+	}
+	g.queued.Add(1)
+	start := time.Now()
+	defer func() {
+		g.queued.Add(-1)
+		g.waitNS.Add(time.Since(start).Nanoseconds())
+	}()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.acquired.Add(1)
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// GateStats is a point-in-time sample of a gate, shaped for gauges.
+type GateStats struct {
+	// Slots is the configured concurrency budget; InUse how many are held
+	// right now; Queued how many Acquires are blocked waiting.
+	Slots  int `json:"slots"`
+	InUse  int `json:"in_use"`
+	Queued int `json:"queued"`
+	// Acquired counts successful Acquires ever; WaitNS is the cumulative
+	// time Acquires spent blocked.
+	Acquired uint64 `json:"acquired"`
+	WaitNS   int64  `json:"wait_ns"`
+}
+
+// Stats samples the gate. A nil gate reports zeros.
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Slots:    cap(g.slots),
+		InUse:    len(g.slots),
+		Queued:   int(g.queued.Load()),
+		Acquired: g.acquired.Load(),
+		WaitNS:   g.waitNS.Load(),
+	}
+}

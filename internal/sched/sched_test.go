@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForNCoversAll checks every index is visited exactly once across
+// awkward n/chunk combinations, including chunk ≥ n and chunk ∤ n.
+func TestForNCoversAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, tc := range []struct{ n, chunk int }{
+		{1, 1}, {7, 3}, {16, 16}, {100, 7}, {128, 1}, {5, 100}, {1000, 13},
+	} {
+		var seen sync.Map
+		var count atomic.Int64
+		g := p.Group(context.Background(), 0)
+		if err := g.ForN(tc.n, tc.chunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if _, dup := seen.LoadOrStore(i, true); dup {
+					t.Errorf("n=%d chunk=%d: index %d visited twice", tc.n, tc.chunk, i)
+				}
+				count.Add(1)
+			}
+		}); err != nil {
+			t.Fatalf("n=%d chunk=%d: %v", tc.n, tc.chunk, err)
+		}
+		if got := count.Load(); got != int64(tc.n) {
+			t.Errorf("n=%d chunk=%d: visited %d indices", tc.n, tc.chunk, got)
+		}
+	}
+}
+
+// TestForNRespectsBudget asserts the worker-budget invariant the fleet
+// depends on: concurrent body executions never exceed the group's cap, and
+// the pool's in-flight gauge never exceeds the pool size.
+func TestForNRespectsBudget(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	g := p.Group(context.Background(), 0)
+
+	var cur, peak, poolPeak atomic.Int64
+	err := g.ForN(64, 1, func(lo, hi int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		if f := int64(p.Stats().InFlight); f > poolPeak.Load() {
+			poolPeak.Store(f)
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Errorf("observed %d concurrent bodies, budget %d", peak.Load(), workers)
+	}
+	if poolPeak.Load() > workers {
+		t.Errorf("pool gauge reported %d in-flight, pool size %d", poolPeak.Load(), workers)
+	}
+	if peak.Load() < 2 {
+		t.Logf("note: fan-out never exceeded 1 worker (loaded machine?)")
+	}
+}
+
+// TestForNCapSerializes pins that a cap of 1 runs the body strictly
+// sequentially even over a wider pool.
+func TestForNCapSerializes(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	g := p.Group(context.Background(), 1)
+	var cur, peak atomic.Int64
+	if err := g.ForN(32, 4, func(lo, hi int) {
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 1 {
+		t.Errorf("cap 1 saw %d concurrent bodies", peak.Load())
+	}
+}
+
+// TestForNCancellation checks a cancelled context stops the fan-out before
+// all chunks run and surfaces the context error.
+func TestForNCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	g := p.Group(ctx, 0)
+	var ran atomic.Int64
+	err := g.ForN(10000, 1, func(lo, hi int) {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Errorf("all %d chunks ran despite cancellation", n)
+	}
+
+	// Already-dead context: nothing runs at all.
+	ran.Store(0)
+	if err := g.ForN(100, 10, func(lo, hi int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d chunks ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestForNSerialAllocs pins the satellite fix: the fallback (serial) path
+// must not allocate at all — the old parallelRows built an n-capacity
+// channel and filled it with every index on every call.
+func TestForNSerialAllocs(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.Group(context.Background(), 1)
+	body := func(lo, hi int) {}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := g.ForN(4096, 64, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("serial ForN allocated %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestForNParallelAllocs bounds the parallel path to O(workers) small
+// allocations (closures + waitgroup), independent of n.
+func TestForNParallelAllocs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	g := p.Group(context.Background(), 0)
+	body := func(lo, hi int) {}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := g.ForN(1<<16, 64, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("parallel ForN allocated %.1f objects/run, want ≤ 16", allocs)
+	}
+}
+
+func TestTrySubmitWhenBusy(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	for !p.TrySubmit(func() { close(started); <-block }) {
+	}
+	<-started
+	if p.TrySubmit(func() {}) {
+		t.Error("TrySubmit succeeded with the only worker busy")
+	}
+	if got := p.Stats().InFlight; got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	close(block)
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if got := p.Stats(); got.Workers != 2 || got.InFlight != 0 || got.Completed != 0 {
+		t.Errorf("fresh pool stats = %+v", got)
+	}
+	g := p.Group(context.Background(), 0)
+	if err := g.ForN(100, 10, func(lo, hi int) {}); err != nil {
+		t.Fatal(err)
+	}
+	// The caller may have done all the work itself, so Completed is only
+	// bounded above.
+	if got := p.Stats(); got.InFlight != 0 || got.Completed > 100 {
+		t.Errorf("post-run pool stats = %+v", got)
+	}
+}
+
+func TestSharedPoolSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned distinct pools")
+	}
+	if Shared().Workers() < 1 {
+		t.Fatalf("shared pool has %d workers", Shared().Workers())
+	}
+	if Background() != Background() {
+		t.Fatal("Background returned distinct groups")
+	}
+	if err := Background().Err(); err != nil {
+		t.Fatalf("background group already cancelled: %v", err)
+	}
+}
+
+func TestGate(t *testing.T) {
+	g := NewGate(2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Slots != 2 || st.InUse != 2 || st.Queued != 0 || st.Acquired != 2 {
+		t.Errorf("gate stats after 2 acquires = %+v", st)
+	}
+
+	// Third acquirer queues until a release.
+	acquired := make(chan error, 1)
+	go func() { acquired <- g.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("third Acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.InUse != 2 || st.Queued != 0 || st.Acquired != 3 {
+		t.Errorf("gate stats after queued acquire = %+v", st)
+	}
+	if st.WaitNS <= 0 {
+		t.Errorf("queued acquire recorded no wait (WaitNS = %d)", st.WaitNS)
+	}
+
+	// A queued acquire honours context cancellation.
+	cctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(cctx) }()
+	for g.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Acquire returned %v", err)
+	}
+	g.Release()
+	g.Release()
+	if st := g.Stats(); st.InUse != 0 {
+		t.Errorf("InUse = %d after releasing everything", st.InUse)
+	}
+}
+
+func TestNilGate(t *testing.T) {
+	var g *Gate
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	if st := g.Stats(); st != (GateStats{}) {
+		t.Errorf("nil gate stats = %+v", st)
+	}
+	if NewGate(0) != nil {
+		t.Error("NewGate(0) should be nil (unbounded)")
+	}
+}

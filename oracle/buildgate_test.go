@@ -1,0 +1,159 @@
+package oracle_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
+	"github.com/congestedclique/cliqueapsp/oracle"
+)
+
+// Concurrency tracking for the test-gated backend: how many builds are
+// inside the engine right now, and the worst case ever observed.
+var (
+	gatedCur  atomic.Int64
+	gatedPeak atomic.Int64
+	gatedPool atomic.Int64 // peak shared-pool in-flight sampled during builds
+)
+
+func init() {
+	mustRegister("test-gated", cliqueapsp.AlgorithmSpec{
+		Summary:     "concurrency-observing backend for build-admission tests",
+		FactorBound: "1",
+		RoundClass:  "0",
+		Bandwidth:   "n/a",
+		Run: func(ctx context.Context, g *cliqueapsp.Graph, p cliqueapsp.RunParams) (cliqueapsp.AlgorithmOutput, error) {
+			c := gatedCur.Add(1)
+			defer gatedCur.Add(-1)
+			for {
+				old := gatedPeak.Load()
+				if c <= old || gatedPeak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			if f := int64(sched.Shared().Stats().InFlight); f > gatedPool.Load() {
+				gatedPool.Store(f)
+			}
+			select {
+			case <-time.After(40 * time.Millisecond):
+			case <-ctx.Done():
+				return cliqueapsp.AlgorithmOutput{}, ctx.Err()
+			}
+			return cliqueapsp.AlgorithmOutput{Distances: cliqueapsp.Exact(g), Factor: 1}, nil
+		},
+	})
+}
+
+// TestManagerBuildConcurrencyGate is the fleet-admission property:
+// BuildConcurrency 1 with three tenants uploading concurrently must
+// serialize the builds (never two engines running at once, queue depth
+// visible in Stats while it lasts), converge every tenant to correct
+// answers, and never push the shared pool past its worker budget.
+func TestManagerBuildConcurrencyGate(t *testing.T) {
+	gatedPeak.Store(0)
+	gatedPool.Store(0)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		BuildConcurrency: 1,
+		Base:             oracle.Config{Algorithm: "test-gated"},
+	})
+	defer m.Close()
+
+	names := []string{"a", "b", "c"}
+	graphs := make(map[string]*cliqueapsp.Graph, len(names))
+	for i, name := range names {
+		mustTenant(t, m, name, oracle.TenantConfig{})
+		graphs[name] = cliqueapsp.RandomGraph(24, 12, int64(40+i))
+	}
+
+	// Watch the gate while the uploads race: with one slot and three
+	// tenants, somebody must be observed queued.
+	sawQueued := make(chan struct{})
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	go func() {
+		for watchCtx.Err() == nil {
+			if m.Stats().BuildsQueued > 0 {
+				close(sawQueued)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			tn, err := m.Get(name)
+			if err != nil {
+				t.Errorf("Get(%q): %v", name, err)
+				return
+			}
+			setAndWait(t, tn, graphs[name])
+		}(name)
+	}
+	wg.Wait()
+
+	select {
+	case <-sawQueued:
+	case <-time.After(2 * time.Second):
+		t.Error("builds never queued behind the gate")
+	}
+	if peak := gatedPeak.Load(); peak != 1 {
+		t.Errorf("observed %d concurrent builds, BuildConcurrency 1", peak)
+	}
+	if budget := int64(sched.Shared().Workers()); gatedPool.Load() > budget {
+		t.Errorf("shared pool reported %d in-flight tasks, budget %d", gatedPool.Load(), budget)
+	}
+
+	// Every tenant converged to its own correct answer.
+	for _, name := range names {
+		tn, err := m.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		want := cliqueapsp.Exact(graphs[name])
+		resp, err := tn.Dist(1, 2)
+		if err != nil {
+			t.Fatalf("Dist(%q): %v", name, err)
+		}
+		if resp.Distance != want.At(1, 2) {
+			t.Errorf("%q: Dist(1,2) = %d, want %d", name, resp.Distance, want.At(1, 2))
+		}
+	}
+
+	st := m.Stats()
+	if st.BuildConcurrency != 1 {
+		t.Errorf("BuildConcurrency = %d, want 1", st.BuildConcurrency)
+	}
+	if st.BuildsRunning != 0 || st.BuildsQueued != 0 {
+		t.Errorf("idle gate reports running=%d queued=%d", st.BuildsRunning, st.BuildsQueued)
+	}
+	if st.BuildsAdmitted != 3 {
+		t.Errorf("BuildsAdmitted = %d, want 3", st.BuildsAdmitted)
+	}
+	if st.BuildWaitNS <= 0 {
+		t.Errorf("BuildWaitNS = %d, want > 0 (two builds queued)", st.BuildWaitNS)
+	}
+}
+
+// TestManagerUnlimitedBuildGate pins the zero-value behavior: no cap means
+// no gate, stats report an absent budget and zero queueing.
+func TestManagerUnlimitedBuildGate(t *testing.T) {
+	m := oracle.NewManager(oracle.ManagerConfig{Base: oracle.Config{Algorithm: "test-exact"}})
+	defer m.Close()
+	tn := mustTenant(t, m, "solo", oracle.TenantConfig{})
+	setAndWait(t, tn, cliqueapsp.RandomGraph(16, 8, 3))
+	st := m.Stats()
+	if st.BuildConcurrency != 0 {
+		t.Errorf("BuildConcurrency = %d, want 0 (unlimited)", st.BuildConcurrency)
+	}
+	if st.BuildsQueued != 0 || st.BuildsRunning != 0 || st.BuildsAdmitted != 0 || st.BuildWaitNS != 0 {
+		t.Errorf("nil gate reported activity: %+v", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
@@ -81,6 +82,14 @@ type ManagerConfig struct {
 	// because resident rows, not graph size, are what a cold tenant keeps
 	// in memory.
 	ColdCacheRows int
+	// BuildConcurrency caps how many tenant builds run at once across the
+	// whole fleet (0 = unlimited). Builds over the cap queue FIFO-ish at the
+	// admission gate; while queued, a tenant's uploads keep coalescing, so
+	// the build that eventually runs uses the newest graph. Queue depth and
+	// cumulative wait are reported by Stats (BuildsQueued, BuildWaitNS) —
+	// with kernel parallelism bounded by the shared pool, this is the knob
+	// that stops k rebuilding tenants from thrashing one machine.
+	BuildConcurrency int
 }
 
 // ColdOpener opens one persisted snapshot version for disk-tier serving;
@@ -148,6 +157,7 @@ type TenantConfig struct {
 type Manager struct {
 	cfg  ManagerConfig
 	eng  *cliqueapsp.Engine
+	gate *sched.Gate   // fleet-wide build admission (nil = unlimited)
 	tick atomic.Uint64 // logical LRU clock
 
 	// Persistence counters live outside mu: they are bumped from tenant
@@ -210,6 +220,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return &Manager{
 		cfg:        cfg,
 		eng:        eng,
+		gate:       sched.NewGate(cfg.BuildConcurrency),
 		tenants:    make(map[string]*Tenant),
 		hydrating:  make(map[string]chan struct{}),
 		evictedCfg: make(map[string]TenantConfig),
@@ -228,6 +239,7 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	}
 	cfg := m.cfg.Base
 	cfg.Engine = m.eng
+	cfg.gate = m.gate // every tenant build passes the fleet admission gate
 	if tc.Algorithm != "" {
 		cfg.Algorithm = tc.Algorithm
 	}
@@ -1304,6 +1316,15 @@ type ManagerStats struct {
 	RowCacheHits      uint64 `json:"row_cache_hits"`
 	RowCacheMisses    uint64 `json:"row_cache_misses"`
 	RowCacheEvictions uint64 `json:"row_cache_evictions"`
+	// BuildConcurrency echoes the configured build admission cap (absent =
+	// unlimited); BuildsRunning and BuildsQueued sample the gate right now;
+	// BuildsAdmitted counts builds ever admitted through the gate, and
+	// BuildWaitNS is the cumulative time builds spent queued behind it.
+	BuildConcurrency int    `json:"build_concurrency,omitempty"`
+	BuildsRunning    int    `json:"builds_running"`
+	BuildsQueued     int    `json:"builds_queued"`
+	BuildsAdmitted   uint64 `json:"builds_admitted"`
+	BuildWaitNS      int64  `json:"build_wait_ns"`
 	// Tenants holds one entry per hosted tenant, sorted by name.
 	Tenants []TenantStats `json:"tenants"`
 }
@@ -1348,6 +1369,12 @@ func (m *Manager) Stats() ManagerStats {
 		Promotions:      m.promotions.Load(),
 		FullDecodes:     m.fullDecodes.Load(),
 	}
+	gs := m.gate.Stats()
+	st.BuildConcurrency = gs.Slots
+	st.BuildsRunning = gs.InUse
+	st.BuildsQueued = gs.Queued
+	st.BuildsAdmitted = gs.Acquired
+	st.BuildWaitNS = gs.WaitNS
 	tenants := make([]*Tenant, 0, len(m.tenants))
 	for _, t := range m.tenants {
 		tenants = append(tenants, t)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
+	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
 
@@ -98,6 +99,14 @@ type Config struct {
 	// RestoreSnapshot, so a restore never re-persists the bytes it was just
 	// decoded from.
 	OnPublish func(p Published)
+
+	// gate, when non-nil, is the fleet-wide build admission control: the
+	// build loop acquires a slot before running the engine and releases it
+	// after, so at most gate.Slots tenant builds run concurrently no matter
+	// how many oracles a Manager hosts. Queue wait is charged to the gate's
+	// accounting, not to BuildTimeout. Set by Manager; unexported because a
+	// standalone Oracle has nothing to share a budget with.
+	gate *sched.Gate
 }
 
 // Published describes one published snapshot to Config.OnPublish. Both
@@ -341,10 +350,30 @@ func (o *Oracle) buildLoop() {
 	defer o.wg.Done()
 	for {
 		o.mu.Lock()
+		if o.pending == nil || o.closed {
+			o.building = false
+			o.mu.Unlock()
+			return
+		}
+		o.mu.Unlock()
+
+		// Fleet admission: wait for a build slot BEFORE popping the pending
+		// graph, so uploads arriving while this tenant queues keep coalescing
+		// and the build that finally runs uses the newest graph. Queue wait
+		// is charged to the gate's accounting, not to BuildTimeout (which
+		// starts inside build).
+		if err := o.cfg.gate.Acquire(o.ctx); err != nil {
+			// Only a dying oracle cancels o.ctx; the loop top observes
+			// closed and exits.
+			continue
+		}
+
+		o.mu.Lock()
 		g, v := o.pending, o.pendingV
 		if g == nil || o.closed {
 			o.building = false
 			o.mu.Unlock()
+			o.cfg.gate.Release()
 			return
 		}
 		o.pending = nil
@@ -352,6 +381,7 @@ func (o *Oracle) buildLoop() {
 
 		start := time.Now()
 		snap, phases, err := o.build(g, v)
+		o.cfg.gate.Release()
 		elapsed := time.Since(start)
 		if err == nil {
 			snap.buildDur = elapsed // set before publishing: snapshots are immutable once stored
