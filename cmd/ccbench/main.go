@@ -29,6 +29,7 @@ import (
 	"github.com/congestedclique/cliqueapsp/internal/registry"
 	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/obs"
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
@@ -98,6 +99,7 @@ func main() {
 		}
 		report.Tier = tb
 		report.Obs = benchObs()
+		report.Trace = benchTrace()
 		kb, err := benchKernel(*seed)
 		if err != nil {
 			fatal(err)
@@ -308,6 +310,59 @@ func benchObs() *experiments.ObsBench {
 		Series:      series,
 		RenderNS:    renderNS,
 		RenderBytes: sb.Len(),
+	}
+}
+
+// benchTrace times the tracing layer from both sides of the sampling
+// decision. The sampled loop does the full per-request span work ccserve's
+// middleware and oracle path perform — mint a root, open a child, set
+// attrs, End both — against a tracer whose store swallows everything. The
+// unsampled loop is the passthrough every untraced request pays: one
+// Sample() coin flip plus a StartSpan on a span-free context, which must
+// stay allocation-free and near-instant. Deterministic work, so no seed.
+func benchTrace() *experiments.TraceBench {
+	perSec := func(count int, ns int64) float64 {
+		if ns <= 0 {
+			return 0
+		}
+		return float64(count) / (float64(ns) / 1e9)
+	}
+
+	const sampledOps = 1 << 16
+	tracer := trace.NewTracer(1, trace.NewStore(64))
+	start := time.Now()
+	for i := 0; i < sampledOps; i++ {
+		root := tracer.StartRoot("GET /v1/dist", trace.TraceID{}, trace.SpanID{})
+		root.SetInt("u", int64(i))
+		ctx := trace.ContextWith(context.Background(), root)
+		_, child := trace.StartSpan(ctx, "oracle.dist")
+		child.SetInt("version", 1)
+		child.End()
+		root.SetStatus(200)
+		root.End()
+	}
+	sampledNS := time.Since(start).Nanoseconds()
+
+	const unsampledOps = 1 << 22
+	off := trace.NewTracer(0, nil)
+	ctx := context.Background()
+	start = time.Now()
+	for i := 0; i < unsampledOps; i++ {
+		if off.Sample() {
+			panic("sample rate 0 sampled a request")
+		}
+		_, sp := trace.StartSpan(ctx, "oracle.dist")
+		sp.End()
+	}
+	unsampledNS := time.Since(start).Nanoseconds()
+
+	return &experiments.TraceBench{
+		SampledOps:    sampledOps,
+		SampledNS:     sampledNS,
+		SampledPerS:   perSec(sampledOps, sampledNS),
+		UnsampledOps:  unsampledOps,
+		UnsampledNS:   unsampledNS,
+		UnsampledPerS: perSec(unsampledOps, unsampledNS),
 	}
 }
 

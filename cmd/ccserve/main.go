@@ -26,6 +26,9 @@
 //	                 outcome counters, build-phase histograms, manager /
 //	                 row-cache / process gauges (admin-only under -keys)
 //	GET  /debug/pprof/   net/http/pprof profiles (admin-only under -keys)
+//	GET  /v1/traces      recent completed request/build traces, newest
+//	                     first (admin-only under -keys)
+//	GET  /v1/traces/{id} one trace as a nested span tree
 //
 //	GET    /v1/graphs                 list hosted graphs
 //	POST   /v1/graphs                 create a tenant: {"name":…,
@@ -80,6 +83,15 @@
 // picks the floor (debug|info|warn|error); -version prints build
 // metadata and exits.
 //
+// Tracing: -tracesample picks the fraction of requests traced end to end
+// (handler, oracle, disk-tier and build spans); slow (>= -slowquery) and
+// 5xx requests are captured even when unsampled. Incoming W3C traceparent
+// headers are honored — a sampled parent forces tracing and the server
+// joins the caller's trace — and every sampled response carries a
+// traceparent header back. Completed traces land in a bounded in-memory
+// ring (-tracebuf) inspected via /v1/traces; slow-query warnings carry
+// the trace ID in a "trace" field for direct lookup.
+//
 // Example:
 //
 //	ccserve -addr 127.0.0.1:8080 -alg constant -eps 0.1
@@ -132,6 +144,8 @@ func main() {
 		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
 		slowQuery    = flag.Duration("slowquery", time.Second, "log requests slower than this at warning level (0 = off)")
+		traceSample  = flag.Float64("tracesample", 0, "fraction of requests traced end to end, 0..1 (slow and 5xx requests are always captured)")
+		traceBuf     = flag.Int("tracebuf", 256, "completed traces retained in memory for /v1/traces")
 		logLevel     = flag.String("loglevel", "info", "lowest level logged: debug, info, warn or error")
 		showVersion  = flag.Bool("version", false, "print build version and revision, then exit")
 	)
@@ -194,8 +208,10 @@ func main() {
 			RunOptions:   runOpts,
 			BuildTimeout: *buildTimeout,
 		},
-		log:       logger,
-		slowQuery: *slowQuery,
+		log:         logger,
+		slowQuery:   *slowQuery,
+		traceSample: *traceSample,
+		traceBuf:    *traceBuf,
 	})
 	if err != nil {
 		fatal(err)
@@ -254,7 +270,7 @@ func main() {
 			"maxbatch", *maxBatch, "maxgraphs", *maxGraphs, "maxtotaln", *maxTotalN,
 			"buildpar", *buildPar, "kernelpar", *kernelPar,
 			"datadir", persist, "coldcache", *coldCache, "keys", auth,
-			"slowquery", *slowQuery)
+			"slowquery", *slowQuery, "tracesample", *traceSample)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -134,6 +135,8 @@ func (s *server) registerCollectors(reg *obs.Registry) {
 		for stat, v := range map[string]float64{
 			"uptime_seconds":         ps.UptimeSeconds,
 			"goroutines":             float64(ps.Goroutines),
+			"gomaxprocs":             float64(ps.GOMAXPROCS),
+			"open_fds":               float64(ps.OpenFDs),
 			"heap_inuse_bytes":       float64(ps.HeapInuseBytes),
 			"gc_pause_seconds_total": ps.gcPauseSeconds,
 			"http_requests":          float64(s.reqs.Load()),
@@ -151,6 +154,8 @@ type processStats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	GoVersion      string  `json:"go_version"`
 	Goroutines     int     `json:"goroutines"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	OpenFDs        int     `json:"open_fds"`
 	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
 	GCPauseTotalNS uint64  `json:"gc_pause_total_ns"`
 	NumGC          uint32  `json:"num_gc"`
@@ -165,11 +170,26 @@ func readProcessStats(start time.Time) processStats {
 		UptimeSeconds:  time.Since(start).Seconds(),
 		GoVersion:      runtime.Version(),
 		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		OpenFDs:        countOpenFDs(),
 		HeapInuseBytes: ms.HeapInuse,
 		GCPauseTotalNS: ms.PauseTotalNs,
 		NumGC:          ms.NumGC,
 		gcPauseSeconds: float64(ms.PauseTotalNs) / 1e9,
 	}
+}
+
+// countOpenFDs counts the process's open file descriptors via /proc —
+// an operational signal here because every cold tenant's tier reader
+// holds a snapshot file open. Best-effort: 0 on platforms without
+// /proc/self/fd (the JSON field and gauge then read as absent-ish
+// rather than erroring the whole stats surface).
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0
+	}
+	return len(ents)
 }
 
 // buildInfo resolves the module version and VCS revision baked into the
@@ -197,11 +217,14 @@ func buildInfo() (version, revision string) {
 func routeTemplate(path string) string {
 	switch path {
 	case "/v1/dist", "/v1/batch", "/v1/path", "/v1/graph",
-		"/v1/stats", "/v1/graphs", "/healthz", "/metrics":
+		"/v1/stats", "/v1/graphs", "/v1/traces", "/healthz", "/metrics":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
 		return "/debug/pprof/"
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/traces/"); ok && rest != "" {
+		return "/v1/traces/{id}"
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/graphs/"); ok && rest != "" {
 		_, op, hasOp := strings.Cut(rest, "/")

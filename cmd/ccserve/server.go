@@ -19,6 +19,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/obs"
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 	"github.com/congestedclique/cliqueapsp/oracle"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
@@ -52,9 +53,15 @@ type serverConfig struct {
 	kernelPar     int           // shared-pool workers per build's kernels (-kernelpar; 0 = whole pool)
 	keys          *keyring      // nil = open server (-keys unset)
 	slowQuery     time.Duration // log completed requests over this at warn (-slowquery; 0 = off)
+	traceSample   float64       // fraction of requests traced end-to-end (-tracesample)
+	traceBuf      int           // completed traces retained for /v1/traces (-tracebuf; ≤0 = default)
 	base          oracle.Config
 	log           *slog.Logger // nil = discard
 }
+
+// defaultTraceBuf is the -tracebuf default: enough recent traces to
+// debug an incident, bounded enough to never matter for memory.
+const defaultTraceBuf = 256
 
 // Tenant names are validated with store.ValidTenantName, so the HTTP API,
 // log lines, and the on-disk snapshot layout all accept the same alphabet.
@@ -73,6 +80,9 @@ type server struct {
 	log   *slog.Logger
 	slow  time.Duration  // -slowquery threshold (0 = off)
 	met   *serverMetrics // request/build instruments behind /metrics
+
+	tracer *trace.Tracer // samples requests; builds are always traced
+	traces *trace.Store  // bounded ring of completed traces (/v1/traces)
 
 	tmu  sync.Mutex
 	tlim map[string]int // per-tenant max-node overrides (≤ lim.maxNodes)
@@ -99,6 +109,15 @@ func newServer(cfg serverConfig) (*server, error) {
 		met:   newServerMetrics(reg),
 		tlim:  make(map[string]int),
 	}
+	// The tracer exists even at -tracesample 0: forced captures (slow and
+	// 5xx requests) and build traces still need somewhere to land.
+	traceBuf := cfg.traceBuf
+	if traceBuf <= 0 {
+		traceBuf = defaultTraceBuf
+	}
+	s.traces = trace.NewStore(traceBuf)
+	s.tracer = trace.NewTracer(cfg.traceSample, s.traces)
+	cfg.base.Tracer = s.tracer
 	// Kernel parallelism is an engine default, so every tenant build draws
 	// at most -kernelpar workers from the process-wide pool; build admission
 	// caps how many such builds run at once.
@@ -201,9 +220,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	// Multi-tenant routes.
 	s.mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/v1/graphs/", s.handleTenant)
-	// Observability surfaces. Neither path is tenant-scoped in tenantRoute,
-	// so with -keys set both are admin-only automatically; without -keys the
-	// server is as open as every other route.
+	// Observability surfaces. None of these paths are tenant-scoped in
+	// tenantRoute, so with -keys set they are all admin-only automatically;
+	// without -keys the server is as open as every other route.
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	s.mux.Handle("/metrics", reg.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -214,13 +235,39 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-// ServeHTTP is the middleware shell around every route: request ID in, one
-// counter/histogram update and one structured completion line out. Auth
-// runs inside the shell so 401/403 land in the route metrics too.
+// ServeHTTP is the middleware shell around every route: request ID and
+// trace context in, one counter/histogram update and one structured
+// completion line out. Auth runs inside the shell so 401/403 land in the
+// route metrics too.
+//
+// Tracing decision, in order: an incoming traceparent with the sampled
+// flag, else head sampling at -tracesample. A sampled request gets a
+// live root span carried through the request context (so every layer's
+// child spans land in one tree) and the response echoes a traceparent.
+// An UNSAMPLED request does none of that — zero extra allocations, the
+// AllocsPerRun test in obs/trace pins the primitives — but if it ends
+// slow (≥ -slowquery) or 5xx, a root-only trace is synthesized at
+// completion so the incident is still retrievable from /v1/traces.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	route := routeTemplate(r.URL.Path)
 	id := requestID(r)
-	r = r.WithContext(withRequestID(r.Context(), id))
+	ctx := withRequestID(r.Context(), id)
+	sc, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	var span *trace.Span
+	if sc.Sampled || s.tracer.Sample() {
+		tid := sc.TraceID
+		if tid.IsZero() {
+			// No propagated trace ID: reuse the X-Request-Id when it is
+			// usable as one (32 lowercase hex), so the client's own
+			// correlation token finds the trace; mint otherwise.
+			tid, _ = trace.ParseTraceID(id)
+		}
+		span = s.tracer.StartRoot(r.Method+" "+route, tid, sc.SpanID)
+		ctx = trace.ContextWith(ctx, span)
+		w.Header().Set("traceparent", trace.FormatTraceparent(span.TraceID(), span.ID(), true))
+	}
+	r = r.WithContext(ctx)
 	w.Header().Set("X-Request-Id", id)
 	sw := &statusWriter{ResponseWriter: w}
 	s.reqs.Add(1)
@@ -231,7 +278,6 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sw.status = http.StatusOK // handler never wrote; net/http sends 200
 	}
 	dur := time.Since(start)
-	route := routeTemplate(r.URL.Path)
 	status := strconv.Itoa(sw.status)
 	s.met.requests.With(route, r.Method, status).Inc()
 	s.met.latency.With(route, status).Observe(dur.Seconds())
@@ -241,10 +287,34 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.met.tenantReq.With(tenant, outcome).Inc()
 		}
 	}
+	slow := s.slow > 0 && dur >= s.slow
+	var traceID string
+	if span != nil {
+		span.SetStatus(sw.status)
+		span.SetAttr("request_id", id)
+		if scoped {
+			span.SetAttr("tenant", tenant)
+		}
+		span.End()
+		traceID = span.TraceID().String()
+	} else if slow || sw.status >= 500 {
+		// Forced capture: the request was not sampled (so no span tree
+		// exists — that is what kept it allocation-free), but slow and
+		// failing requests must be retrievable. Synthesize the root now;
+		// only these rare requests pay for it.
+		attrs := []trace.Attr{trace.String("sampling", "forced"), trace.String("request_id", id)}
+		if scoped {
+			attrs = append(attrs, trace.String("tenant", tenant))
+		}
+		tid, _ := trace.ParseTraceID(id)
+		if tid = s.tracer.CaptureRoot(tid, r.Method+" "+route, start, dur, sw.status, attrs...); !tid.IsZero() {
+			traceID = tid.String()
+		}
+	}
 	level := slog.LevelInfo
 	msg := "request"
 	switch {
-	case s.slow > 0 && dur >= s.slow:
+	case slow:
 		level, msg = slog.LevelWarn, "slow request"
 	case route == "/healthz" || route == "/metrics":
 		// Probe and scrape traffic: one line per poll would drown the log.
@@ -252,6 +322,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	args := []any{"route", route, "method", r.Method, "status", sw.status,
 		"bytes", sw.bytes, "dur", dur, "id", id}
+	if traceID != "" {
+		args = append(args, "trace", traceID)
+	}
 	if scoped {
 		args = append(args, "tenant", tenant)
 	}
@@ -284,13 +357,24 @@ const statusClientClosedRequest = 499
 
 // clientGone writes a 499 WITHOUT counting it as a server error: writeJSON
 // would bump errs for any status ≥ 400, and a canceled wait is the
-// client's doing, not the server's.
-func (s *server) clientGone(w http.ResponseWriter, err error) {
+// client's doing, not the server's. The X-Request-Id header is re-stamped
+// before the handler unwinds — a canceled wait races response teardown,
+// and without the stamp the 499 is the one response class that could
+// reach the client uncorrelatable — and the cancellation is logged with
+// both correlation tokens.
+func (s *server) clientGone(w http.ResponseWriter, r *http.Request, err error) {
+	id := requestIDFrom(r.Context())
+	if id != "" {
+		w.Header().Set("X-Request-Id", id)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(statusClientClosedRequest)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(errorBody{Error: err.Error()})
+	s.log.Log(r.Context(), slog.LevelInfo, "client gone",
+		"status", statusClientClosedRequest, "method", r.Method, "path", r.URL.Path,
+		"id", id, "trace", traceIDFrom(r.Context()), "err", err)
 }
 
 // fail maps an error to a status: oracle-not-ready serves 503 (retryable),
@@ -331,7 +415,7 @@ func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err er
 	}
 	s.log.Log(r.Context(), level, msg,
 		"status", status, "method", r.Method, "path", r.URL.Path,
-		"id", requestIDFrom(r.Context()), "err", err)
+		"id", requestIDFrom(r.Context()), "trace", traceIDFrom(r.Context()), "err", err)
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
@@ -410,7 +494,7 @@ func (s *server) dist(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) 
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	res, err := t.Dist(u, v)
+	res, err := t.DistCtx(r.Context(), u, v)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
@@ -471,7 +555,7 @@ func (s *server) batch(w http.ResponseWriter, r *http.Request, t *oracle.Tenant)
 	for i, p := range req.Pairs {
 		pairs[i] = oracle.Pair(p)
 	}
-	res, err := t.Batch(pairs)
+	res, err := t.BatchCtx(r.Context(), pairs)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
@@ -486,7 +570,7 @@ func (s *server) path(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) 
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	res, err := t.Path(u, v)
+	res, err := t.PathCtx(r.Context(), u, v)
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
@@ -659,7 +743,7 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.T
 				// Report it nginx-style as 499 client-closed-request, outside
 				// the server error counter — a 500 here would both lie to
 				// monitoring and inflate http_errors with client impatience.
-				s.clientGone(w, fmt.Errorf("client stopped waiting for rebuild v%d: %w (the build continues)", version, err))
+				s.clientGone(w, r, fmt.Errorf("client stopped waiting for rebuild v%d: %w (the build continues)", version, err))
 				return
 			}
 			s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("rebuild v%d: %w", version, err))

@@ -74,6 +74,21 @@ type ObsBench struct {
 	RenderBytes int   `json:"render_bytes"`
 }
 
+// TraceBench reports the tracing layer's overhead from both sides of the
+// sampling decision: full span work (root + child + attrs + End) when a
+// request is sampled, and the Sample()+StartSpan passthrough every
+// unsampled request pays — the number that must stay near-free. Filled by
+// ccbench -json (the cmd drives the obs/trace package; this package only
+// carries the shape).
+type TraceBench struct {
+	SampledOps    int     `json:"sampled_ops"`
+	SampledNS     int64   `json:"sampled_ns"`
+	SampledPerS   float64 `json:"sampled_per_s"`
+	UnsampledOps  int     `json:"unsampled_ops"`
+	UnsampledNS   int64   `json:"unsampled_ns"`
+	UnsampledPerS float64 `json:"unsampled_per_s"`
+}
+
 // KernelWorkers is one point of a KernelSize's worker sweep: the tiled
 // kernel's throughput at a given worker cap, and its speedup over the
 // untiled single-thread baseline of the same size.
@@ -118,6 +133,7 @@ type JSONReport struct {
 	Store       *StoreBench      `json:"store,omitempty"`
 	Tier        *TierBench       `json:"tier,omitempty"`
 	Obs         *ObsBench        `json:"obs,omitempty"`
+	Trace       *TraceBench      `json:"trace,omitempty"`
 	Kernel      *KernelBench     `json:"kernel,omitempty"`
 }
 

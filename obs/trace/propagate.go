@@ -1,0 +1,119 @@
+package trace
+
+// W3C Trace Context propagation: the traceparent header.
+//
+//	traceparent = version "-" trace-id "-" parent-id "-" trace-flags
+//	            = 2HEXDIG "-" 32HEXDIG "-" 16HEXDIG "-" 2HEXDIG
+//
+// Hex is lowercase per the spec. Parsing is alloc-free and total: any
+// hostile header parses to (SpanContext{}, false), never a panic — the
+// fuzz-style tests in propagate_test.go pin that.
+
+// FlagSampled is the trace-flags bit meaning "the caller sampled this
+// request"; ccserve honors it as a sampling decision already made.
+const FlagSampled = 0x01
+
+// maxTraceparentLen rejects absurd headers before looking at a byte.
+// Valid version-00 headers are exactly 55 bytes; future versions may
+// append "-"-separated fields, but nothing legitimate approaches this.
+const maxTraceparentLen = 256
+
+// SpanContext is the identity carried by a traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// ParseTraceparent parses a traceparent header value. Per the W3C
+// processing rules: version "ff" is invalid; an unknown (future)
+// version is accepted if its first 55 bytes parse as version-00 fields
+// and any tail starts with "-"; zero trace or span IDs are invalid;
+// uppercase hex is invalid. Returns (SpanContext{}, false) on any
+// violation — alloc-free either way.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) < 55 || len(h) > maxTraceparentLen {
+		return SpanContext{}, false
+	}
+	var ver [1]byte
+	if !decodeLowerHex(ver[:], h[0:2]) || ver[0] == 0xff {
+		return SpanContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(h) > 55 {
+		// version 00 is exactly 55 bytes; future versions may only append
+		// another "-"-separated field.
+		if ver[0] == 0 || h[55] != '-' {
+			return SpanContext{}, false
+		}
+	}
+	var sc SpanContext
+	if !decodeLowerHex(sc.TraceID[:], h[3:35]) || sc.TraceID.IsZero() {
+		return SpanContext{}, false
+	}
+	if !decodeLowerHex(sc.SpanID[:], h[36:52]) || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if !decodeLowerHex(flags[:], h[53:55]) {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&FlagSampled != 0
+	return sc, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(id TraceID, span SpanID, sampled bool) string {
+	var buf [55]byte
+	buf[0], buf[1] = '0', '0'
+	buf[2] = '-'
+	encodeLowerHex(buf[3:35], id[:])
+	buf[35] = '-'
+	encodeLowerHex(buf[36:52], span[:])
+	buf[52] = '-'
+	buf[53] = '0'
+	if sampled {
+		buf[54] = '1'
+	} else {
+		buf[54] = '0'
+	}
+	return string(buf[:])
+}
+
+// decodeLowerHex decodes exactly len(dst)*2 lowercase hex characters.
+// It rejects uppercase (per W3C) and never allocates.
+func decodeLowerHex(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := nibble(s[2*i])
+		lo, ok2 := nibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func nibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+const hexDigits = "0123456789abcdef"
+
+func encodeLowerHex(dst []byte, src []byte) {
+	for i, b := range src {
+		dst[2*i] = hexDigits[b>>4]
+		dst[2*i+1] = hexDigits[b&0x0f]
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const validTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		header  string
+		ok      bool
+		sampled bool
+	}{
+		{"valid sampled", validTP, true, true},
+		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true, false},
+		{"other flag bits set", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-03", true, true},
+		{"future version with tail", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true, true},
+		{"future version bare", "42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true, true},
+		{"empty", "", false, false},
+		{"too short", "00-4bf92f-00f0-01", false, false},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false, false},
+		{"version not hex", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false, false},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", false, false},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01", false, false},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", false, false},
+		{"bad separator", "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false, false},
+		{"flags not hex", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x", false, false},
+		{"version 00 with tail", validTP + "-extra", false, false},
+		{"future version bad tail", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", false, false},
+		{"oversized", validTP + strings.Repeat("-aaaa", 100), false, false},
+		{"trace id with unicode", "00-4bf92f3577b34da6a3ce929d0e0e47\xc3\xa9-00f067aa0ba902b7-01", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := ParseTraceparent(tc.header)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", tc.header, ok, tc.ok)
+			}
+			if !ok {
+				if sc != (SpanContext{}) {
+					t.Fatalf("rejected header returned nonzero context %+v", sc)
+				}
+				return
+			}
+			if sc.Sampled != tc.sampled {
+				t.Fatalf("sampled = %v, want %v", sc.Sampled, tc.sampled)
+			}
+			if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+				t.Fatalf("trace id = %s", sc.TraceID)
+			}
+			if sc.SpanID.String() != "00f067aa0ba902b7" {
+				t.Fatalf("span id = %s", sc.SpanID)
+			}
+		})
+	}
+}
+
+// TestParseTraceparentMutationsNeverPanic is the fuzz-style half of the
+// satellite: mutate a valid header at every position with every
+// interesting byte, plus random garbage of random lengths, and require
+// parse to stay total — either a clean reject or a well-formed context.
+func TestParseTraceparentMutationsNeverPanic(t *testing.T) {
+	check := func(h string) {
+		sc, ok := ParseTraceparent(h)
+		if ok && (sc.TraceID.IsZero() || sc.SpanID.IsZero()) {
+			t.Fatalf("accepted %q with zero ids", h)
+		}
+	}
+	interesting := []byte{0, ' ', '-', '0', 'a', 'f', 'g', 'A', 'F', 0x7f, 0xff}
+	for i := 0; i < len(validTP); i++ {
+		for _, b := range interesting {
+			mutated := validTP[:i] + string(b) + validTP[i+1:]
+			check(mutated)
+		}
+		// Truncations and single-byte insertions at every position.
+		check(validTP[:i])
+		check(validTP[:i] + "-" + validTP[i:])
+	}
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, maxTraceparentLen+32)
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(len(buf))
+		rng.Read(buf[:n])
+		check(string(buf[:n]))
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		id := MintTraceID()
+		root := mintSpanID()
+		for _, sampled := range []bool{true, false} {
+			h := FormatTraceparent(id, root, sampled)
+			sc, ok := ParseTraceparent(h)
+			if !ok {
+				t.Fatalf("round trip rejected %q", h)
+			}
+			if sc.TraceID != id || sc.SpanID != root || sc.Sampled != sampled {
+				t.Fatalf("round trip mangled %q: %+v", h, sc)
+			}
+		}
+	}
+}

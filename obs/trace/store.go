@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// numShards spreads store contention; a power of two so the shard pick
+// is a mask on the trace ID's first (random) byte.
+const numShards = 16
+
+// Store is a bounded, lock-sharded ring buffer of completed traces.
+// Adding the capacity+1'th trace to a shard evicts that shard's oldest;
+// total retention is therefore bounded by construction, no matter how
+// many distinct trace IDs a hostile caller mints.
+type Store struct {
+	shards [numShards]storeShard
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	ring    []*Trace // circular; nil slots not yet filled
+	next    int      // next write position
+	byID    map[TraceID]*Trace
+	added   uint64
+	evicted uint64
+}
+
+// NewStore builds a store retaining about `capacity` completed traces
+// (rounded up to a multiple of the shard count; minimum one per shard).
+func NewStore(capacity int) *Store {
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].ring = make([]*Trace, per)
+		s.shards[i].byID = make(map[TraceID]*Trace, per)
+	}
+	return s
+}
+
+// Capacity returns the exact number of traces the store retains.
+func (s *Store) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.shards[0].ring) * numShards
+}
+
+// Add stores a completed trace, evicting the owning shard's oldest
+// entry when full. Nil-safe (a nil store drops the trace).
+func (s *Store) Add(tr *Trace) {
+	if s == nil || tr == nil || tr.ID.IsZero() {
+		return
+	}
+	sh := &s.shards[tr.ID[0]&(numShards-1)]
+	sh.mu.Lock()
+	if old := sh.ring[sh.next]; old != nil {
+		// Only unmap the evictee if the map still points at it — a newer
+		// trace reusing the same ID must stay resolvable.
+		if cur, ok := sh.byID[old.ID]; ok && cur == old {
+			delete(sh.byID, old.ID)
+		}
+		sh.evicted++
+	}
+	sh.ring[sh.next] = tr
+	sh.byID[tr.ID] = tr
+	sh.next = (sh.next + 1) % len(sh.ring)
+	sh.added++
+	sh.mu.Unlock()
+}
+
+// Get returns the stored trace with the given ID, if still retained.
+func (s *Store) Get(id TraceID) (*Trace, bool) {
+	if s == nil || id.IsZero() {
+		return nil, false
+	}
+	sh := &s.shards[id[0]&(numShards-1)]
+	sh.mu.Lock()
+	tr, ok := sh.byID[id]
+	sh.mu.Unlock()
+	return tr, ok
+}
+
+// Recent returns up to max retained traces, newest root first (by the
+// root span's start time; traces are immutable once stored, so the
+// returned pointers are safe to read without the store's locks).
+func (s *Store) Recent(max int) []*Trace {
+	if s == nil || max <= 0 {
+		return nil
+	}
+	var all []*Trace
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, tr := range sh.ring {
+			if tr != nil {
+				all = append(all, tr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ri, rj := all[i].Root(), all[j].Root()
+		switch {
+		case ri == nil:
+			return false
+		case rj == nil:
+			return true
+		default:
+			return ri.Start.After(rj.Start)
+		}
+	})
+	if len(all) > max {
+		all = all[:max]
+	}
+	return all
+}
+
+// StoreStats is the store's lifetime accounting.
+type StoreStats struct {
+	Stored  int    // traces currently retained
+	Added   uint64 // traces ever stored
+	Evicted uint64 // traces pushed out by the ring bound
+}
+
+// Stats sums the shard counters.
+func (s *Store) Stats() StoreStats {
+	var st StoreStats
+	if s == nil {
+		return st
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Stored += len(sh.byID)
+		st.Added += sh.added
+		st.Evicted += sh.evicted
+		sh.mu.Unlock()
+	}
+	return st
+}

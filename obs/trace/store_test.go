@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(seed byte, start time.Time) *Trace {
+	var id TraceID
+	id[0] = seed
+	id[15] = seed ^ 0xa5
+	for i := 1; i < 15; i++ {
+		id[i] = seed + byte(i)
+	}
+	return &Trace{ID: id, Spans: []SpanRecord{{SpanID: "01", Name: "r", Start: start}}}
+}
+
+func TestStoreGetAndRecentOrder(t *testing.T) {
+	s := NewStore(64)
+	base := time.Now()
+	var ids []TraceID
+	for i := 0; i < 10; i++ {
+		tr := mkTrace(byte(i), base.Add(time.Duration(i)*time.Second))
+		s.Add(tr)
+		ids = append(ids, tr.ID)
+	}
+	for _, id := range ids {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("trace %s lost under capacity", id)
+		}
+	}
+	recent := s.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) returned %d", len(recent))
+	}
+	for i, tr := range recent {
+		if tr.ID != ids[9-i] {
+			t.Fatalf("Recent order: got %s at %d, want %s", tr.ID, i, ids[9-i])
+		}
+	}
+	if st := s.Stats(); st.Stored != 10 || st.Added != 10 || st.Evicted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestStoreRingBoundUnderConcurrentWriters pins the satellite's bound:
+// hammer the store from many goroutines with distinct trace IDs (the
+// hostile-header scenario — every request minting a fresh ID) and the
+// retained set must never exceed the constructed capacity.
+func TestStoreRingBoundUnderConcurrentWriters(t *testing.T) {
+	const capacity = 64
+	s := NewStore(capacity)
+	cap := s.Capacity()
+	if cap < capacity {
+		t.Fatalf("capacity %d < requested %d", cap, capacity)
+	}
+
+	const writers = 8
+	const perWriter = 1000
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := &Trace{Spans: []SpanRecord{{SpanID: "01", Name: "r", Start: start}}}
+				tr.ID = MintTraceID()
+				s.Add(tr)
+				if i%100 == 0 {
+					s.Recent(10) // readers race the ring too
+					s.Get(tr.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Added != writers*perWriter {
+		t.Fatalf("added = %d, want %d", st.Added, writers*perWriter)
+	}
+	if st.Stored > cap {
+		t.Fatalf("stored %d traces, ring bound is %d", st.Stored, cap)
+	}
+	if got := len(s.Recent(10 * cap)); got > cap {
+		t.Fatalf("Recent returned %d traces, ring bound is %d", got, cap)
+	}
+	if st.Evicted != st.Added-uint64(st.Stored) {
+		t.Fatalf("accounting: added %d, stored %d, evicted %d", st.Added, st.Stored, st.Evicted)
+	}
+}
+
+func TestStoreSameIDReuseStaysResolvable(t *testing.T) {
+	s := NewStore(numShards) // one slot per shard: adds to one shard always evict
+	a := mkTrace(1, time.Now())
+	b := &Trace{ID: a.ID, Spans: []SpanRecord{{SpanID: "02", Name: "newer", Start: time.Now()}}}
+	s.Add(a)
+	s.Add(b) // same ID: evicts a (same shard, one slot), must still resolve to b
+	got, ok := s.Get(a.ID)
+	if !ok || got != b {
+		t.Fatalf("same-ID reuse: got %+v ok=%v, want the newer trace", got, ok)
+	}
+}
+
+func TestStoreNilAndZeroSafety(t *testing.T) {
+	var s *Store
+	s.Add(mkTrace(1, time.Now()))
+	if _, ok := s.Get(TraceID{1}); ok {
+		t.Fatal("nil store resolved a trace")
+	}
+	if s.Recent(5) != nil || s.Capacity() != 0 {
+		t.Fatal("nil store returned data")
+	}
+	real := NewStore(8)
+	real.Add(nil)
+	real.Add(&Trace{}) // zero ID
+	if st := real.Stats(); st.Added != 0 {
+		t.Fatalf("zero/nil traces were stored: %+v", st)
+	}
+}

@@ -1,0 +1,477 @@
+// Package trace is a dependency-free request-scoped tracing subsystem:
+// a span model with W3C traceparent propagation, head sampling, and a
+// bounded in-memory store of completed traces.
+//
+// The design point is the UNSAMPLED fast path: when a request is not
+// sampled, every tracing call site must cost zero allocations. That is
+// achieved with nil receivers — StartSpan returns a nil *Span when the
+// context carries no active span, and every Span method is a no-op on
+// nil — plus an API whose hot-path methods (Event, SetInt) take no
+// variadic attribute slice, so the compiler never materializes one just
+// to throw it away. The AllocsPerRun tests in this package pin that
+// contract.
+//
+// Sampled traces accumulate their finished spans in a per-trace capture
+// shared by the whole span tree; ending the root span submits the trace
+// to the tracer's Store. Spans that end after the root (a background
+// straggler) are dropped rather than racing the submission.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace ID; the all-zero value is invalid.
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span ID; the all-zero value is invalid.
+type SpanID [8]byte
+
+func (t TraceID) IsZero() bool   { return t == TraceID{} }
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+func (s SpanID) IsZero() bool   { return s == SpanID{} }
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses 32 lowercase hex characters into a TraceID. It is
+// how ccserve reuses a compatible X-Request-Id as the trace ID: only an
+// exact, nonzero, lowercase-hex ID qualifies. Alloc-free.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 || !decodeLowerHex(t[:], s) || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// MintTraceID returns a fresh random trace ID (crypto/rand). The zero
+// value signals the extremely unlikely failure to read randomness.
+func MintTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		return TraceID{}
+	}
+	return t
+}
+
+func mintSpanID() SpanID {
+	var s SpanID
+	if _, err := rand.Read(s[:]); err != nil {
+		// A zero span ID is invalid on the wire but harmless internally;
+		// the span still records and the trace still assembles.
+		return SpanID{}
+	}
+	return s
+}
+
+// Attr is one string key/value pair on a span or event.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// EventRecord is a timestamped point annotation inside a span (a cache
+// hit, a quota rejection) — cheaper than a child span when there is no
+// duration to measure.
+type EventRecord struct {
+	Name string    `json:"name"`
+	Time time.Time `json:"time"`
+}
+
+// SpanRecord is one finished span as stored and served. ParentID is ""
+// exactly for the trace's local root, so tree assembly is unambiguous;
+// a remote parent from an incoming traceparent is kept as the
+// "w3c.parent_id" attribute instead.
+type SpanRecord struct {
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Status   int           `json:"status,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Events   []EventRecord `json:"events,omitempty"`
+}
+
+// Trace is one completed trace: the spans in end order (children before
+// the root) plus how many were dropped over the per-trace cap.
+type Trace struct {
+	ID      TraceID
+	Spans   []SpanRecord
+	Dropped int
+}
+
+// Root returns the trace's root span record (the span with no parent),
+// or nil for an empty trace.
+func (tr *Trace) Root() *SpanRecord {
+	for i := range tr.Spans {
+		if tr.Spans[i].ParentID == "" {
+			return &tr.Spans[i]
+		}
+	}
+	if n := len(tr.Spans); n > 0 {
+		return &tr.Spans[n-1]
+	}
+	return nil
+}
+
+// maxSpansPerTrace bounds one trace's memory: a sampled 100k-pair batch
+// must not record 100k row-read spans. The root always records (it
+// carries the trace's identity); drops are counted, not silent.
+const maxSpansPerTrace = 512
+
+// capture accumulates the finished spans of one sampled trace. It is
+// shared by every span in the tree and submits to the tracer's store
+// when the root ends; anything ending later is dropped.
+type capture struct {
+	tracer *Tracer
+	id     TraceID
+
+	mu      sync.Mutex
+	recs    []SpanRecord
+	dropped int
+	done    bool
+}
+
+func (c *capture) add(rec SpanRecord, root bool) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	if !root && len(c.recs) >= maxSpansPerTrace {
+		c.dropped++
+		c.mu.Unlock()
+		return
+	}
+	c.recs = append(c.recs, rec)
+	var submit []SpanRecord
+	dropped := 0
+	if root {
+		c.done = true
+		submit, dropped = c.recs, c.dropped
+	}
+	c.mu.Unlock()
+	if submit != nil && c.tracer != nil && c.tracer.store != nil {
+		c.tracer.store.Add(&Trace{ID: c.id, Spans: submit, Dropped: dropped})
+	}
+}
+
+// Span is one live span of a sampled trace. The nil *Span is the
+// unsampled trace: every method is a nil-safe no-op, so call sites stay
+// linear and allocation-free without checking.
+type Span struct {
+	cap    *capture
+	id     SpanID
+	parent SpanID // zero for the local root
+	root   bool
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	status int
+	errMsg string
+	attrs  []Attr
+	events []EventRecord
+	ended  bool
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.cap.id
+}
+
+// ID returns the span's own ID (zero for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// SetAttr records a string attribute. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt records an integer attribute. The int64 parameter keeps the
+// call site allocation-free when the span is nil: no strconv, no
+// interface boxing, until the span is real.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, formatInt(v))
+}
+
+// SetStatus records an HTTP-style status code. No-op on nil.
+func (s *Span) SetStatus(code int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = code
+	s.mu.Unlock()
+}
+
+// SetError records the error's message on the span. No-op on nil or
+// nil error.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// Event records a timestamped point annotation. The single-string
+// signature is deliberate: a variadic attrs parameter would allocate
+// the slice even on the nil (unsampled) path.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.events = append(s.events, EventRecord{Name: name, Time: now})
+	s.mu.Unlock()
+}
+
+// AddChild records an already-finished child span with explicit times.
+// It is how the build loop turns the engine's per-phase timings into
+// sibling spans after the fact: the phases ran sequentially, so their
+// start times reconstruct from the build start. No-op on nil.
+func (s *Span) AddChild(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.cap.add(SpanRecord{
+		SpanID:   mintSpanID().String(),
+		ParentID: s.id.String(),
+		Name:     name,
+		Start:    start,
+		Duration: d,
+		Attrs:    attrs,
+	}, false)
+}
+
+// StartChild opens a live child span. Most call sites should use the
+// context-carried StartSpan instead; StartChild exists for paths (the
+// build loop) that have a span but no request context.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{cap: s.cap, id: mintSpanID(), parent: s.id, name: name, start: time.Now()}
+}
+
+// End finishes the span and records it; ending the root submits the
+// whole trace to the store. Ending twice records once. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		SpanID:   s.id.String(),
+		Name:     s.name,
+		Start:    s.start,
+		Duration: dur,
+		Status:   s.status,
+		Error:    s.errMsg,
+		Attrs:    s.attrs,
+		Events:   s.events,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	s.mu.Unlock()
+	s.cap.add(rec, s.root)
+}
+
+// Tracer owns the sampling decision and the store completed traces land
+// in. A nil *Tracer is valid and disables tracing entirely: StartRoot
+// returns nil, Sample returns false.
+type Tracer struct {
+	store  *Store
+	sample float64
+	rng    atomic.Uint64 // xorshift64 state; sampling must not allocate or lock
+}
+
+// NewTracer builds a tracer that samples the given fraction of requests
+// (clamped to [0,1]) into store. store may be nil (spans run but traces
+// vanish), which the tests use to measure pure span overhead.
+func NewTracer(sample float64, store *Store) *Tracer {
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	t := &Tracer{store: store, sample: sample}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		t.rng.Store(binary.LittleEndian.Uint64(seed[:]) | 1) // nonzero: xorshift's fixed point is 0
+	} else {
+		t.rng.Store(0x9e3779b97f4a7c15)
+	}
+	return t
+}
+
+// Store returns the tracer's trace store (nil for a nil tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Sample makes the head sampling decision for one request. Alloc-free
+// and lock-free: an atomic xorshift64 step, compared against the rate.
+func (t *Tracer) Sample() bool {
+	if t == nil || t.sample <= 0 {
+		return false
+	}
+	if t.sample >= 1 {
+		return true
+	}
+	for {
+		old := t.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if t.rng.CompareAndSwap(old, x) {
+			// Top 53 bits give a uniform float in [0,1).
+			return float64(x>>11)/(1<<53) < t.sample
+		}
+	}
+}
+
+// StartRoot opens the root span of a new sampled trace. A zero id mints
+// a fresh one; a nonzero remoteParent (from an incoming traceparent) is
+// kept as the "w3c.parent_id" attribute so the local tree still has
+// exactly one parentless root. Returns nil on a nil tracer.
+func (t *Tracer) StartRoot(name string, id TraceID, remoteParent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	if id.IsZero() {
+		id = MintTraceID()
+	}
+	s := &Span{
+		cap:   &capture{tracer: t, id: id},
+		id:    mintSpanID(),
+		root:  true,
+		name:  name,
+		start: time.Now(),
+	}
+	if !remoteParent.IsZero() {
+		s.attrs = append(s.attrs, Attr{Key: "w3c.parent_id", Value: remoteParent.String()})
+	}
+	return s
+}
+
+// CaptureRoot stores a root-only trace after the fact: the forced
+// capture path for a request that was not sampled at the head but
+// turned out slow or 5xx. The span tree was never built (that is what
+// kept the request allocation-free), so the trace is just the root with
+// explicit times. Returns the trace ID stored under, or zero if the
+// tracer/store is absent.
+func (t *Tracer) CaptureRoot(id TraceID, name string, start time.Time, d time.Duration, status int, attrs ...Attr) TraceID {
+	if t == nil || t.store == nil {
+		return TraceID{}
+	}
+	if id.IsZero() {
+		id = MintTraceID()
+		if id.IsZero() {
+			return TraceID{}
+		}
+	}
+	t.store.Add(&Trace{ID: id, Spans: []SpanRecord{{
+		SpanID:   mintSpanID().String(),
+		Name:     name,
+		Start:    start,
+		Duration: d,
+		Status:   status,
+		Attrs:    attrs,
+	}}})
+	return id
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying s as the active span.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the active span, or nil when the request is not
+// sampled. The nil result is directly usable: every Span method no-ops.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span. When there is
+// none — the unsampled fast path — it returns (ctx, nil) without
+// allocating; the nil span absorbs every method call, and child lookups
+// through the returned context stay nil too.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.StartChild(name)
+	return ContextWith(ctx, s), s
+}
+
+// formatInt is strconv.FormatInt(v, 10) without the import; attrs are
+// rare enough that a simple two-pass render is fine.
+func formatInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -11,6 +11,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/sched"
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
@@ -240,6 +241,7 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	cfg := m.cfg.Base
 	cfg.Engine = m.eng
 	cfg.gate = m.gate // every tenant build passes the fleet admission gate
+	cfg.name = name   // so build traces carry the tenant they belong to
 	if tc.Algorithm != "" {
 		cfg.Algorithm = tc.Algorithm
 	}
@@ -1487,13 +1489,36 @@ func (t *Tenant) Quota() Quota {
 	return Quota{}
 }
 
+// quotaThrottled annotates ctx's active trace span (if any) with a
+// quota rejection: a 429 inside a sampled trace must say which bucket
+// ran dry, or the trace answers "slow" but not "throttled why".
+func quotaThrottled(ctx context.Context, err error) {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	sp.Event("quota.throttled")
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		sp.SetAttr("quota.resource", qe.Resource)
+		sp.SetAttr("quota.retry_after", qe.RetryAfter.String())
+	}
+}
+
 // Dist answers one distance query (see Oracle.Dist).
 func (t *Tenant) Dist(u, v int) (DistResult, error) {
+	return t.DistCtx(context.Background(), u, v)
+}
+
+// DistCtx is Dist with a caller context; a sampled request's trace gains
+// the oracle/tier child spans and a quota-throttle event on rejection.
+func (t *Tenant) DistCtx(ctx context.Context, u, v int) (DistResult, error) {
 	if err := t.allow(1); err != nil {
+		quotaThrottled(ctx, err)
 		return DistResult{}, err
 	}
 	t.touch()
-	res, err := t.o.Dist(u, v)
+	res, err := t.o.DistCtx(ctx, u, v)
 	if err != nil {
 		// The quota meters answered traffic; a failed query (not ready,
 		// out-of-range pair) produced nothing and gets its tokens back.
@@ -1506,11 +1531,17 @@ func (t *Tenant) Dist(u, v int) (DistResult, error) {
 // batch is charged against the answer quota up front — len(pairs) answer
 // tokens — so batching cannot launder load past a per-answer budget.
 func (t *Tenant) Batch(pairs []Pair) (BatchResult, error) {
+	return t.BatchCtx(context.Background(), pairs)
+}
+
+// BatchCtx is Batch with a caller context; see DistCtx.
+func (t *Tenant) BatchCtx(ctx context.Context, pairs []Pair) (BatchResult, error) {
 	if err := t.allow(len(pairs)); err != nil {
+		quotaThrottled(ctx, err)
 		return BatchResult{}, err
 	}
 	t.touch()
-	res, err := t.o.Batch(pairs)
+	res, err := t.o.BatchCtx(ctx, pairs)
 	if err != nil {
 		t.lim.Load().refundCall(len(pairs))
 	}
@@ -1519,11 +1550,17 @@ func (t *Tenant) Batch(pairs []Pair) (BatchResult, error) {
 
 // Path answers one greedy-routing query (see Oracle.Path).
 func (t *Tenant) Path(u, v int) (PathResult, error) {
+	return t.PathCtx(context.Background(), u, v)
+}
+
+// PathCtx is Path with a caller context; see DistCtx.
+func (t *Tenant) PathCtx(ctx context.Context, u, v int) (PathResult, error) {
 	if err := t.allow(1); err != nil {
+		quotaThrottled(ctx, err)
 		return PathResult{}, err
 	}
 	t.touch()
-	res, err := t.o.Path(u, v)
+	res, err := t.o.PathCtx(ctx, u, v)
 	if err != nil {
 		t.lim.Load().refundCall(1)
 	}

@@ -28,6 +28,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/sched"
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
 
@@ -99,6 +100,14 @@ type Config struct {
 	// RestoreSnapshot, so a restore never re-persists the bytes it was just
 	// decoded from.
 	OnPublish func(p Published)
+	// Tracer, when non-nil, records a trace per build attempt (gate wait,
+	// one span per engine phase, the publish hook) and lets the context-
+	// carried request spans opened by DistCtx/BatchCtx/PathCtx land
+	// somewhere. Builds are always captured — they are rare and each one is
+	// a per-phase flame view of the pipeline; request sampling is the
+	// caller's (ccserve middleware's) decision, made before the context
+	// reaches the oracle.
+	Tracer *trace.Tracer
 
 	// gate, when non-nil, is the fleet-wide build admission control: the
 	// build loop acquires a slot before running the engine and releases it
@@ -107,6 +116,10 @@ type Config struct {
 	// accounting, not to BuildTimeout. Set by Manager; unexported because a
 	// standalone Oracle has nothing to share a budget with.
 	gate *sched.Gate
+	// name is the tenant name builds are traced under. Set by Manager for
+	// the same reason gate is unexported: a standalone Oracle has no fleet
+	// identity to report.
+	name string
 }
 
 // Published describes one published snapshot to Config.OnPublish. Both
@@ -357,16 +370,27 @@ func (o *Oracle) buildLoop() {
 		}
 		o.mu.Unlock()
 
+		// Every build attempt gets its own trace (root ends after the
+		// completion bookkeeping below): builds are rare, and the per-phase
+		// child spans are a flame view of the pipeline itself. An abandoned
+		// root (acquire failed, oracle closing) is simply never submitted.
+		root := o.cfg.Tracer.StartRoot("oracle.build", trace.TraceID{}, trace.SpanID{})
+		if root != nil && o.cfg.name != "" {
+			root.SetAttr("tenant", o.cfg.name)
+		}
+
 		// Fleet admission: wait for a build slot BEFORE popping the pending
 		// graph, so uploads arriving while this tenant queues keep coalescing
 		// and the build that finally runs uses the newest graph. Queue wait
 		// is charged to the gate's accounting, not to BuildTimeout (which
 		// starts inside build).
+		gateStart := time.Now()
 		if err := o.cfg.gate.Acquire(o.ctx); err != nil {
 			// Only a dying oracle cancels o.ctx; the loop top observes
 			// closed and exits.
 			continue
 		}
+		root.AddChild("build.gate_wait", gateStart, time.Since(gateStart))
 
 		o.mu.Lock()
 		g, v := o.pending, o.pendingV
@@ -378,11 +402,23 @@ func (o *Oracle) buildLoop() {
 		}
 		o.pending = nil
 		o.mu.Unlock()
+		if root != nil {
+			root.SetInt("version", int64(v))
+			root.SetInt("graph_n", int64(g.N()))
+		}
 
 		start := time.Now()
 		snap, phases, err := o.build(g, v)
 		o.cfg.gate.Release()
 		elapsed := time.Since(start)
+		// The engine's phases ran sequentially inside build, so their spans
+		// reconstruct as siblings with cumulative starts.
+		phaseStart := start
+		for _, p := range phases {
+			root.AddChild("phase."+p.Phase, phaseStart, p.Duration)
+			phaseStart = phaseStart.Add(p.Duration)
+		}
+		root.SetError(err)
 		if err == nil {
 			snap.buildDur = elapsed // set before publishing: snapshots are immutable once stored
 			snap.phases = phases
@@ -390,7 +426,11 @@ func (o *Oracle) buildLoop() {
 			// query or waiter can observe the version until it is durable.
 			// The previous snapshot keeps serving meanwhile.
 			if o.cfg.OnPublish != nil {
+				pubStart := time.Now()
 				o.cfg.OnPublish(Published{Version: v, Graph: snap.g, Result: snap.res})
+				// The hook IS the persistence path when a store is wired, so
+				// this child measures persist+publish latency.
+				root.AddChild("oracle.publish", pubStart, time.Since(pubStart))
 			}
 			o.mu.Lock()
 			// Version-monotonic under the lock, as a belt: builds are
@@ -419,6 +459,7 @@ func (o *Oracle) buildLoop() {
 		if o.cfg.OnRebuild != nil {
 			o.cfg.OnRebuild(v, elapsed, err)
 		}
+		root.End()
 	}
 }
 
@@ -643,6 +684,14 @@ func (o *Oracle) Close() {
 
 // Dist answers one distance query from the current snapshot.
 func (o *Oracle) Dist(u, v int) (DistResult, error) {
+	return o.DistCtx(context.Background(), u, v)
+}
+
+// DistCtx is Dist with a caller context: when ctx carries an active
+// trace span (a sampled request), the query records an "oracle.dist"
+// child span and the tier layer hangs its row-read spans below it. On an
+// unsampled context the tracing calls are nil no-ops — zero allocations.
+func (o *Oracle) DistCtx(ctx context.Context, u, v int) (DistResult, error) {
 	s := o.cur.Load()
 	if s == nil {
 		return DistResult{}, ErrNotReady
@@ -650,15 +699,22 @@ func (o *Oracle) Dist(u, v int) (DistResult, error) {
 	if err := s.check(u, v); err != nil {
 		return DistResult{}, err
 	}
+	ctx, sp := trace.StartSpan(ctx, "oracle.dist")
+	sp.SetInt("u", int64(u))
+	sp.SetInt("v", int64(v))
+	sp.SetInt("version", int64(s.version))
 	o.cnt.distQueries.Add(1)
 	o.cnt.answers.Add(1)
-	a, err := s.answer(u, v)
+	a, err := s.answer(ctx, u, v)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return DistResult{}, err
 	}
 	if s.cold != nil {
 		o.cnt.coldServes.Add(1)
 	}
+	sp.End()
 	return DistResult{Answer: a, Version: s.version}, nil
 }
 
@@ -667,6 +723,13 @@ func (o *Oracle) Dist(u, v int) (DistResult, error) {
 // mid-flight. No next-hop state is touched: a batch of distance lookups is
 // O(1) per pair against the snapshot's row storage.
 func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
+	return o.BatchCtx(context.Background(), pairs)
+}
+
+// BatchCtx is Batch with a caller context; see DistCtx for the tracing
+// contract. The span records the pair count, and the per-trace span cap
+// keeps a sampled mega-batch from recording one span per row read.
+func (o *Oracle) BatchCtx(ctx context.Context, pairs []Pair) (BatchResult, error) {
 	s := o.cur.Load()
 	if s == nil {
 		return BatchResult{}, ErrNotReady
@@ -676,12 +739,17 @@ func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
 			return BatchResult{}, err
 		}
 	}
+	ctx, sp := trace.StartSpan(ctx, "oracle.batch")
+	sp.SetInt("pairs", int64(len(pairs)))
+	sp.SetInt("version", int64(s.version))
 	o.cnt.batchQueries.Add(1)
 	o.cnt.answers.Add(uint64(len(pairs)))
 	answers := make([]Answer, len(pairs))
 	for i, p := range pairs {
-		a, err := s.answer(p.U, p.V)
+		a, err := s.answer(ctx, p.U, p.V)
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return BatchResult{}, err
 		}
 		answers[i] = a
@@ -689,6 +757,7 @@ func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
 	if s.cold != nil {
 		o.cnt.coldServes.Add(1)
 	}
+	sp.End()
 	return BatchResult{Version: s.version, Answers: answers}, nil
 }
 
@@ -697,6 +766,12 @@ func (o *Oracle) Batch(pairs []Pair) (BatchResult, error) {
 // With approximate estimates greedy forwarding can dead-end or loop on rare
 // pairs; that is reported as an error rather than a wrong path.
 func (o *Oracle) Path(u, v int) (PathResult, error) {
+	return o.PathCtx(context.Background(), u, v)
+}
+
+// PathCtx is Path with a caller context; see DistCtx for the tracing
+// contract.
+func (o *Oracle) PathCtx(ctx context.Context, u, v int) (PathResult, error) {
 	s := o.cur.Load()
 	if s == nil {
 		return PathResult{}, ErrNotReady
@@ -704,12 +779,18 @@ func (o *Oracle) Path(u, v int) (PathResult, error) {
 	if err := s.check(u, v); err != nil {
 		return PathResult{}, err
 	}
+	ctx, sp := trace.StartSpan(ctx, "oracle.path")
+	sp.SetInt("u", int64(u))
+	sp.SetInt("v", int64(v))
+	sp.SetInt("version", int64(s.version))
 	o.cnt.pathQueries.Add(1)
 	o.cnt.answers.Add(1)
-	res, err := s.path(u, v)
+	res, err := s.path(ctx, u, v)
 	if err == nil && s.cold != nil {
 		o.cnt.coldServes.Add(1)
 	}
+	sp.SetError(err)
+	sp.End()
 	return res, err
 }
 

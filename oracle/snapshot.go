@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -107,11 +108,12 @@ func (s *snapshot) check(u, v int) error {
 }
 
 // answer resolves one pair. Hot snapshots cannot fail; cold ones surface
-// row-read failures wrapped in ErrColdRead.
-func (s *snapshot) answer(u, v int) (Answer, error) {
+// row-read failures wrapped in ErrColdRead. ctx only carries the active
+// trace span (if the request is sampled); it does not cancel the read.
+func (s *snapshot) answer(ctx context.Context, u, v int) (Answer, error) {
 	a := Answer{U: u, V: v, Distance: Unreachable}
 	if s.cold != nil {
-		row, err := s.cold.Row(u)
+		row, err := s.cold.RowCtx(ctx, u)
 		if err != nil {
 			return a, fmt.Errorf("%w: %w", ErrColdRead, err)
 		}
@@ -151,7 +153,7 @@ func (s *snapshot) row(u int) []int {
 // deriving it from disk-backed distance rows (one read per neighbor of u,
 // mostly absorbed by the hot-row cache). Failed builds are not memoized:
 // a transient read error must not poison the row.
-func (s *snapshot) coldRow(u int) ([]int, error) {
+func (s *snapshot) coldRow(ctx context.Context, u int) ([]int, error) {
 	s.nhMu.Lock()
 	if r := s.rows[u]; r != nil {
 		s.cnt.rowHits.Add(1)
@@ -170,7 +172,7 @@ func (s *snapshot) coldRow(u int) ([]int, error) {
 	s.nhFlights[u] = fl
 	s.nhMu.Unlock()
 
-	fl.row, fl.err = s.buildColdRow(u)
+	fl.row, fl.err = s.buildColdRow(ctx, u)
 
 	s.nhMu.Lock()
 	delete(s.nhFlights, u)
@@ -183,12 +185,16 @@ func (s *snapshot) coldRow(u int) ([]int, error) {
 	return fl.row, fl.err
 }
 
-func (s *snapshot) buildColdRow(u int) ([]int, error) {
-	g, err := s.cold.Graph()
+func (s *snapshot) buildColdRow(ctx context.Context, u int) ([]int, error) {
+	g, err := s.cold.GraphCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return cliqueapsp.NextHopRowFrom(g, u, s.cold.Row)
+	// The closure keeps the caller's trace context flowing into the per-
+	// neighbor distance-row reads NextHopRowFrom performs.
+	return cliqueapsp.NextHopRowFrom(g, u, func(x int) ([]int64, error) {
+		return s.cold.RowCtx(ctx, x)
+	})
 }
 
 // dead is an all-dead-ends next-hop row: RouteVia reports ErrNoRoute on it
@@ -206,20 +212,21 @@ func (s *snapshot) dead() []int {
 
 // coldRouter builds the greedy router over the lazily decoded graph. Like
 // coldRow it retries on failure instead of memoizing an error.
-func (s *snapshot) coldRouter() (*cliqueapsp.GreedyRouter, error) {
+func (s *snapshot) coldRouter(ctx context.Context) (*cliqueapsp.GreedyRouter, error) {
 	s.crMu.Lock()
 	defer s.crMu.Unlock()
 	if s.crouter != nil {
 		return s.crouter, nil
 	}
-	g, err := s.cold.Graph()
+	g, err := s.cold.GraphCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	// The router's own rows callback is a fallback only: cold routing always
-	// goes through RouteVia with a per-call error slot.
+	// goes through RouteVia with a per-call error slot (and that call's
+	// trace context; this fallback has none).
 	s.crouter = cliqueapsp.NewGreedyRouter(g, func(src int) []int {
-		r, err := s.coldRow(src)
+		r, err := s.coldRow(context.Background(), src)
 		if err != nil {
 			return s.dead()
 		}
@@ -230,9 +237,9 @@ func (s *snapshot) coldRouter() (*cliqueapsp.GreedyRouter, error) {
 
 // path routes greedily from u to v over memoized next-hop rows, via the
 // library's GreedyRouter (built once per snapshot on first use).
-func (s *snapshot) path(u, v int) (PathResult, error) {
+func (s *snapshot) path(ctx context.Context, u, v int) (PathResult, error) {
 	if s.cold != nil {
-		return s.coldPath(u, v)
+		return s.coldPath(ctx, u, v)
 	}
 	res := PathResult{U: u, V: v, Cost: Unreachable, Version: s.version}
 	if !s.res.Distances.Reachable(u, v) {
@@ -254,22 +261,22 @@ func (s *snapshot) path(u, v int) (PathResult, error) {
 // coldPath is path over disk-backed rows: reachability from one row read,
 // routing over cold next-hop rows resolved through RouteVia so a mid-route
 // read failure surfaces as the I/O error it is, not as ErrNoRoute.
-func (s *snapshot) coldPath(u, v int) (PathResult, error) {
+func (s *snapshot) coldPath(ctx context.Context, u, v int) (PathResult, error) {
 	res := PathResult{U: u, V: v, Cost: Unreachable, Version: s.version}
-	urow, err := s.cold.Row(u)
+	urow, err := s.cold.RowCtx(ctx, u)
 	if err != nil {
 		return res, fmt.Errorf("%w: %w", ErrColdRead, err)
 	}
 	if urow[v] >= cliqueapsp.Inf {
 		return res, nil
 	}
-	router, err := s.coldRouter()
+	router, err := s.coldRouter(ctx)
 	if err != nil {
 		return res, fmt.Errorf("%w: %w", ErrColdRead, err)
 	}
 	var rerr error
 	rows := func(src int) []int {
-		r, err := s.coldRow(src)
+		r, err := s.coldRow(ctx, src)
 		if err != nil {
 			if rerr == nil {
 				rerr = err

@@ -2,7 +2,10 @@ package tier
 
 import (
 	"container/list"
+	"context"
 	"sync"
+
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 )
 
 // rowCache is a bounded LRU over decoded distance rows with single-flight
@@ -46,18 +49,26 @@ func newRowCache(cap int, load func(u int) ([]int64, error)) *rowCache {
 	}
 }
 
-func (c *rowCache) get(u int) ([]int64, error) {
+// get resolves row u, annotating ctx's active trace span (if any) with
+// which of the three paths answered: resident hit, single-flight join,
+// or leader miss (which additionally records the pread as its own span).
+// The events fire after the cache lock drops; on an unsampled context
+// every trace call is a nil no-op.
+func (c *rowCache) get(ctx context.Context, u int) ([]int64, error) {
+	sp := trace.FromContext(ctx)
 	c.mu.Lock()
 	if e, ok := c.rows[u]; ok {
 		c.ll.MoveToFront(e)
 		c.hits++
 		row := e.Value.(*rowEntry).row
 		c.mu.Unlock()
+		sp.Event("row_cache.hit")
 		return row, nil
 	}
 	if fl, ok := c.inflight[u]; ok {
 		c.hits++
 		c.mu.Unlock()
+		sp.Event("row_cache.wait")
 		<-fl.done
 		return fl.row, fl.err
 	}
@@ -65,8 +76,12 @@ func (c *rowCache) get(u int) ([]int64, error) {
 	c.inflight[u] = fl
 	c.misses++
 	c.mu.Unlock()
+	sp.Event("row_cache.miss")
 
+	_, psp := trace.StartSpan(ctx, "tier.pread")
 	fl.row, fl.err = c.load(u)
+	psp.SetError(fl.err)
+	psp.End()
 
 	c.mu.Lock()
 	delete(c.inflight, u)

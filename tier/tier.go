@@ -19,6 +19,7 @@
 package tier
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +27,7 @@ import (
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
 	"github.com/congestedclique/cliqueapsp/internal/minplus"
+	"github.com/congestedclique/cliqueapsp/obs/trace"
 	"github.com/congestedclique/cliqueapsp/store"
 )
 
@@ -132,10 +134,25 @@ func (r *Reader) RebuiltIndex() bool { return r.rebuilt }
 // the same non-resident row share a single load. The returned slice is
 // shared: callers must not modify it.
 func (r *Reader) Row(u int) ([]int64, error) {
+	return r.RowCtx(context.Background(), u)
+}
+
+// RowCtx is Row with a caller context: when ctx carries an active trace
+// span (a sampled request), the read records a "tier.row" child span
+// with a cache hit/miss/wait event and — on the single-flight leader —
+// a "tier.pread" span around the disk read. On an unsampled context the
+// tracing calls are nil no-ops, costing zero allocations. ctx does not
+// cancel the read.
+func (r *Reader) RowCtx(ctx context.Context, u int) ([]int64, error) {
 	if u < 0 || u >= r.ix.N {
 		return nil, fmt.Errorf("tier: row %d out of range for n=%d", u, r.ix.N)
 	}
-	return r.cache.get(u)
+	ctx, sp := trace.StartSpan(ctx, "tier.row")
+	sp.SetInt("row", int64(u))
+	row, err := r.cache.get(ctx, u)
+	sp.SetError(err)
+	sp.End()
+	return row, err
 }
 
 // loadRow preads and validates one row. It is only ever invoked by the
@@ -167,16 +184,29 @@ func (r *Reader) loadRow(u int) ([]int64, error) {
 // queries ever need it, so a cold tenant serving pure Dist/Batch traffic
 // never pays the O(m) parse.
 func (r *Reader) Graph() (*cliqueapsp.Graph, error) {
+	return r.GraphCtx(context.Background())
+}
+
+// GraphCtx is Graph with a caller context: a sampled request that forces
+// the lazy decode records it as a "tier.graph_decode" span — the O(m)
+// parse is exactly the kind of hidden first-query cost a trace exists to
+// surface. A decode already done records nothing.
+func (r *Reader) GraphCtx(ctx context.Context) (*cliqueapsp.Graph, error) {
 	r.gmu.Lock()
 	defer r.gmu.Unlock()
 	if r.graph != nil {
 		return r.graph, nil
 	}
+	_, sp := trace.StartSpan(ctx, "tier.graph_decode")
+	sp.SetInt("m", int64(r.ix.M))
 	sec := io.NewSectionReader(r.f, r.ix.EdgesOffset(), 16*int64(r.ix.M))
 	g, err := store.DecodeEdgeBlock(sec, r.ix.N, r.ix.M)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, fmt.Errorf("%s: %w", r.f.Name(), err)
 	}
+	sp.End()
 	r.graph = g
 	return g, nil
 }
