@@ -30,6 +30,7 @@ import (
 	"github.com/congestedclique/cliqueapsp/internal/sched"
 	"github.com/congestedclique/cliqueapsp/obs"
 	"github.com/congestedclique/cliqueapsp/obs/trace"
+	"github.com/congestedclique/cliqueapsp/oracle"
 	"github.com/congestedclique/cliqueapsp/store"
 	"github.com/congestedclique/cliqueapsp/tier"
 )
@@ -105,6 +106,11 @@ func main() {
 			fatal(err)
 		}
 		report.Kernel = kb
+		pb, err := benchPatch(*seed, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		report.Patch = pb
 		if err := experiments.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -448,6 +454,91 @@ func benchKernel(seed int64) (*experiments.KernelBench, error) {
 		kb.Sizes = append(kb.Sizes, size)
 	}
 	return kb, nil
+}
+
+// patchSizes are the graph sizes the patch suite measures; -quick keeps only
+// the smaller one. The workload is the standard random generator (average
+// degree ~6) with the same weight range the persistence benchmarks use.
+var patchSizes = [...]int{256, 1024}
+
+// timePatch publishes one graph and then one single-edge reweight (+1, an
+// increase — the expensive direction: the repair must prove which sources
+// the old weight was load-bearing for) through a fresh oracle with the given
+// fallback threshold. It returns the wall time of each publish and whether
+// the delta went through the repair path or fell back to a rebuild.
+func timePatch(g *cliqueapsp.Graph, frac float64) (rebuildNS, patchNS int64, repaired bool, err error) {
+	o := oracle.New(oracle.Config{Algorithm: cliqueapsp.AlgExact, RepairMaxDirtyFrac: frac})
+	defer o.Close()
+	ctx := context.Background()
+
+	start := time.Now()
+	v, err := o.SetGraph(g)
+	if err == nil {
+		err = o.Wait(ctx, v)
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	rebuildNS = time.Since(start).Nanoseconds()
+
+	e := g.Edges()[0]
+	start = time.Now()
+	v, err = o.ApplyDelta(cliqueapsp.GraphDelta{Edges: []cliqueapsp.EdgeDelta{
+		{Op: cliqueapsp.DeltaReweight, U: e.U, V: e.V, W: e.W + 1},
+	}})
+	if err == nil {
+		err = o.Wait(ctx, v)
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	patchNS = time.Since(start).Nanoseconds()
+	return rebuildNS, patchNS, o.Stats().Repairs > 0, nil
+}
+
+// benchPatch times the incremental-update path: a single-edge reweight
+// published through distance repair versus the full rebuild the same delta
+// would have cost before, then the dirty-set fallback threshold swept at the
+// largest size to show where the repair path hands work back to the rebuild
+// loop.
+func benchPatch(seed int64, quick bool) (*experiments.PatchBench, error) {
+	pb := &experiments.PatchBench{Algorithm: string(cliqueapsp.AlgExact)}
+	sizes := patchSizes[:]
+	if quick {
+		sizes = patchSizes[:1]
+	}
+	for _, n := range sizes {
+		g := cliqueapsp.RandomGraph(n, 100, seed)
+		rebuildNS, repairNS, repaired, err := timePatch(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !repaired {
+			return nil, fmt.Errorf("patch bench: single-edge delta at n=%d fell back to a rebuild under frac=1", n)
+		}
+		speedup := 0.0
+		if repairNS > 0 {
+			speedup = float64(rebuildNS) / float64(repairNS)
+		}
+		pb.Sizes = append(pb.Sizes, experiments.PatchSize{
+			N: n, M: g.NumEdges(),
+			RebuildNS: rebuildNS, RepairNS: repairNS, Speedup: speedup,
+		})
+	}
+
+	// Threshold sweep: -1 disables repair outright, tiny fractions starve
+	// the dirty-set budget, generous ones let the single edge through.
+	fracN := sizes[len(sizes)-1]
+	g := cliqueapsp.RandomGraph(fracN, 100, seed)
+	pb.FracN = fracN
+	for _, frac := range []float64{-1, 0.001, 0.05, 0.25, 1} {
+		_, ns, repaired, err := timePatch(g, frac)
+		if err != nil {
+			return nil, err
+		}
+		pb.FracSweep = append(pb.FracSweep, experiments.PatchFrac{Frac: frac, Repaired: repaired, NS: ns})
+	}
+	return pb, nil
 }
 
 func fatal(err error) {

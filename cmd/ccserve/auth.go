@@ -248,7 +248,12 @@ func tenantRoute(r *http.Request) (string, bool) {
 	if r.Method == http.MethodDelete {
 		return "", false // deleting tenants is the admin's call
 	}
-	name, _, _ := strings.Cut(rest, "/")
+	name, op, _ := strings.Cut(rest, "/")
+	if op == "promote" {
+		// Promotion claims fleet memory back from other tenants — an
+		// operator policy decision, not something a tenant key may trigger.
+		return "", false
+	}
 	return name, true
 }
 

@@ -37,6 +37,14 @@
 //	GET    /v1/graphs/{name}          one tenant's summary
 //	DELETE /v1/graphs/{name}          remove a tenant
 //	POST   /v1/graphs/{name}/graph    upload that tenant's graph (?wait=1)
+//	PATCH  /v1/graphs/{name}/edges    apply an edge delta to the current
+//	                                  graph: {"edges":[{"op":"add"|"remove"|
+//	                                  "reweight","u":…,"v":…,"w":…},…]};
+//	                                  small deltas repair the published
+//	                                  distances in place instead of running
+//	                                  the full pipeline (?wait=1)
+//	POST   /v1/graphs/{name}/promote  force a cold (disk-tier) tenant back
+//	                                  into memory (admin-only under -keys)
 //	GET    /v1/graphs/{name}/dist     ?u=0&v=3
 //	POST   /v1/graphs/{name}/batch    {"pairs":[…]}
 //	GET    /v1/graphs/{name}/path     ?u=0&v=3
@@ -142,6 +150,7 @@ func main() {
 		buildPar     = flag.Int("buildpar", 0, "concurrent tenant rebuilds; extra builds queue at the admission gate (0 = NumCPU, negative = unlimited)")
 		kernelPar    = flag.Int("kernelpar", 0, "shared-pool workers each rebuild's min-plus kernels may use (0 = whole pool)")
 		buildTimeout = flag.Duration("buildtimeout", 0, "abort a rebuild after this duration (0 = no limit)")
+		repairFrac   = flag.Float64("repairfrac", 0, "edge-delta repairs whose dirty node set exceeds this fraction of n fall back to a full rebuild (0 = default 0.25, negative = always rebuild)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second, "graceful-shutdown drain window")
 		slowQuery    = flag.Duration("slowquery", time.Second, "log requests slower than this at warning level (0 = off)")
 		traceSample  = flag.Float64("tracesample", 0, "fraction of requests traced end to end, 0..1 (slow and 5xx requests are always captured)")
@@ -203,10 +212,11 @@ func main() {
 		kernelPar:     *kernelPar,
 		keys:          keys,
 		base: oracle.Config{
-			Algorithm:    cliqueapsp.Algorithm(*alg),
-			Eps:          *eps,
-			RunOptions:   runOpts,
-			BuildTimeout: *buildTimeout,
+			Algorithm:          cliqueapsp.Algorithm(*alg),
+			Eps:                *eps,
+			RunOptions:         runOpts,
+			BuildTimeout:       *buildTimeout,
+			RepairMaxDirtyFrac: *repairFrac,
 		},
 		log:         logger,
 		slowQuery:   *slowQuery,

@@ -25,6 +25,7 @@ type serverMetrics struct {
 	tenantReq *obs.CounterVec   // ccserve_tenant_requests_total{tenant,outcome}
 	phaseDur  *obs.HistogramVec // ccserve_build_phase_duration_seconds{phase}
 	rebuilds  *obs.CounterVec   // ccserve_rebuilds_total{result}
+	repairs   *obs.CounterVec   // ccserve_repairs_total{result}
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -43,6 +44,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			obs.DefBuckets, "phase"),
 		rebuilds: reg.Counter("ccserve_rebuilds_total",
 			"Completed build attempts across all tenants by result.",
+			"result"),
+		repairs: reg.Counter("ccserve_repairs_total",
+			"Incremental repair publishes (edge deltas folded into the previous snapshot without an engine run) across all tenants by result.",
 			"result"),
 	}
 }
@@ -232,7 +236,7 @@ func routeTemplate(path string) string {
 			return "/v1/graphs/{name}"
 		}
 		switch op {
-		case "dist", "batch", "path", "graph", "stats":
+		case "dist", "batch", "path", "graph", "edges", "promote", "stats":
 			return "/v1/graphs/{name}/" + op
 		}
 	}

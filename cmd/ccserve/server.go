@@ -160,6 +160,15 @@ func newServer(cfg serverConfig) (*server, error) {
 			s.met.rebuilds.With("ok").Inc()
 			logger.Info("tenant rebuild done", "tenant", name, "version", version, "dur", elapsed)
 		},
+		OnRepair: func(name string, version uint64, elapsed time.Duration, err error) {
+			if err != nil {
+				s.met.repairs.With("error").Inc()
+				logger.Error("tenant repair failed", "tenant", name, "version", version, "dur", elapsed, "err", err)
+				return
+			}
+			s.met.repairs.With("ok").Inc()
+			logger.Info("tenant repair done", "tenant", name, "version", version, "dur", elapsed)
+		},
 		OnPhase: s.met.observePhases,
 	}
 	if cfg.snapshots != nil {
@@ -393,6 +402,14 @@ func (s *server) fail(w http.ResponseWriter, r *http.Request, status int, err er
 	case errors.Is(err, oracle.ErrTenantNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, oracle.ErrTenantExists):
+		status = http.StatusConflict
+	case errors.Is(err, oracle.ErrNoGraph):
+		// A delta with nothing to patch: the tenant exists but has no base
+		// graph — a conflict with the resource's state, not a bad request.
+		status = http.StatusConflict
+	case errors.Is(err, oracle.ErrSuperseded):
+		// The serving snapshot moved while the operation (promote, restore)
+		// was preparing; the mover's state won.
 		status = http.StatusConflict
 	case errors.As(err, &quota):
 		status = http.StatusTooManyRequests
@@ -759,6 +776,79 @@ func (s *server) uploadGraph(w http.ResponseWriter, r *http.Request, t *oracle.T
 	}{Version: version, N: g.N(), M: g.NumEdges(), Ready: status == http.StatusOK})
 }
 
+// PATCH …/edges applies a batch of edge deltas ({"edges":[{"op":"add","u":0,
+// "v":3,"w":2},{"op":"remove","u":1,"v":2},{"op":"reweight","u":4,"v":5,
+// "w":9}]}) to the tenant's newest graph and schedules the successor
+// snapshot. Small deltas against a hot snapshot publish through the
+// incremental repair path (bounded Dijkstra from the touched endpoints);
+// large dirty sets, cold bases, and approximate matrices facing an increase
+// fall back to a coalesced full rebuild — either way the response version is
+// what the publish will serve under. With ?wait=1 the response is delayed
+// until that version serves, like a graph upload's.
+func (s *server) patchEdges(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
+	var req struct {
+		Edges []cliqueapsp.EdgeDelta `json:"edges"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.lim.maxBody)
+	if err := decodeStrict(body, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("delta body: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("delta body: no edges"))
+		return
+	}
+	version, err := t.ApplyDeltaCtx(r.Context(), cliqueapsp.GraphDelta{Edges: req.Edges})
+	if err != nil {
+		// fail() maps ErrNoGraph to 409 and quota rejections to 429; an
+		// invalid delta (bad endpoint, self loop, adding an existing edge,
+		// removing a missing one) is the 400 default, naming its index.
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.log.Info("delta accepted", "tenant", t.Name(), "edges", len(req.Edges),
+		"version", version, "id", requestIDFrom(r.Context()))
+
+	status := http.StatusAccepted
+	if r.URL.Query().Get("wait") != "" {
+		if err := t.Wait(r.Context(), version); err != nil {
+			if r.Context().Err() != nil {
+				// See uploadGraph: client impatience is a 499, not a 500 —
+				// the publish still completes in the background.
+				s.clientGone(w, r, fmt.Errorf("client stopped waiting for v%d: %w (the publish continues)", version, err))
+				return
+			}
+			s.fail(w, r, http.StatusInternalServerError, fmt.Errorf("publish v%d: %w", version, err))
+			return
+		}
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, struct {
+		Version uint64 `json:"version"`
+		Edges   int    `json:"edges"`
+		Ready   bool   `json:"ready"`
+	}{Version: version, Edges: len(req.Edges), Ready: status == http.StatusOK})
+}
+
+// POST /v1/graphs/{name}/promote decodes the newest persisted snapshot of a
+// cold-serving tenant and swaps it back in hot (admin-only with -keys: the
+// promotion charges the full matrix against the fleet's memory budget, which
+// may demote or evict other tenants). A tenant already serving hot is a
+// no-op 200, so the route is safely idempotent.
+func (s *server) promoteTenant(w http.ResponseWriter, r *http.Request, t *oracle.Tenant) {
+	if err := s.mgr.Promote(t.Name()); err != nil {
+		// fail() maps ErrSuperseded to 409 (the serving snapshot moved while
+		// the decode ran) and ErrOverCapacity to 429; a load failure is the
+		// 500 default.
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	ts := t.Stats()
+	s.log.Info("tenant promoted", "tenant", t.Name(), "tier", ts.Tier,
+		"id", requestIDFrom(r.Context()))
+	s.writeJSON(w, http.StatusOK, summarize(ts))
+}
+
 // ---- single-graph routes (default tenant, pre-manager behavior) ----
 
 func (s *server) handleDist(w http.ResponseWriter, r *http.Request) {
@@ -1090,6 +1180,10 @@ func (s *server) handleTenant(w http.ResponseWriter, r *http.Request) {
 		method, serve = http.MethodPost, s.batch
 	case "graph":
 		method, serve = http.MethodPost, s.uploadGraph
+	case "edges":
+		method, serve = http.MethodPatch, s.patchEdges
+	case "promote":
+		method, serve = http.MethodPost, s.promoteTenant
 	case "stats":
 		method, serve, touch = http.MethodGet, s.tenantStats, false
 	default:

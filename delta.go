@@ -1,0 +1,107 @@
+package cliqueapsp
+
+import "fmt"
+
+// Delta operations. An EdgeDelta either adds a new edge, removes an
+// existing one, or reweights an existing one in place.
+const (
+	DeltaAdd      = "add"
+	DeltaRemove   = "remove"
+	DeltaReweight = "reweight"
+)
+
+// EdgeDelta is one edge mutation. W is the new weight for "add" and
+// "reweight" and ignored for "remove". The JSON field names match the
+// ccserve PATCH body.
+type EdgeDelta struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+	W  int64  `json:"w,omitempty"`
+}
+
+// GraphDelta is an ordered batch of edge mutations applied atomically:
+// either every delta validates against the graph it evolves (later deltas
+// see the effect of earlier ones) or none is applied.
+type GraphDelta struct {
+	Edges []EdgeDelta `json:"edges"`
+}
+
+// Touched returns the sorted distinct endpoints named by the delta.
+func (d GraphDelta) Touched() []int {
+	seen := make(map[int]bool, 2*len(d.Edges))
+	var nodes []int
+	for _, e := range d.Edges {
+		for _, x := range [2]int{e.U, e.V} {
+			if !seen[x] {
+				seen[x] = true
+				nodes = append(nodes, x)
+			}
+		}
+	}
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j] < nodes[j-1]; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+	return nodes
+}
+
+// Weight returns the weight of the edge {u,v} and whether it exists.
+func (g *Graph) Weight(u, v int) (int64, bool) { return g.inner.Weight(u, v) }
+
+// Apply validates d against g and returns the successor graph with every
+// delta applied, leaving g untouched. Validation mirrors uploads — every
+// endpoint in range, no self loops, no negative weights — plus delta
+// semantics: "add" requires the edge to be absent, "remove" and "reweight"
+// require it to be present. Errors name the offending delta index.
+func (g *Graph) Apply(d GraphDelta) (*Graph, error) {
+	if len(d.Edges) == 0 {
+		return nil, fmt.Errorf("cliqueapsp: empty delta")
+	}
+	next := &Graph{inner: g.inner.Clone()}
+	for i, e := range d.Edges {
+		if err := next.applyOne(e); err != nil {
+			return nil, fmt.Errorf("cliqueapsp: delta %d: %w", i, err)
+		}
+	}
+	return next, nil
+}
+
+func (g *Graph) applyOne(e EdgeDelta) error {
+	n := g.inner.N()
+	if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+		return fmt.Errorf("endpoint out of range: (%d,%d) with n=%d", e.U, e.V, n)
+	}
+	if e.U == e.V {
+		return fmt.Errorf("self loop at node %d", e.U)
+	}
+	switch e.Op {
+	case DeltaAdd:
+		if e.W < 0 {
+			return fmt.Errorf("negative weight %d", e.W)
+		}
+		if _, ok := g.inner.Weight(e.U, e.V); ok {
+			return fmt.Errorf("edge {%d,%d} already exists", e.U, e.V)
+		}
+		g.inner.AddEdge(e.U, e.V, e.W)
+	case DeltaRemove:
+		if !g.inner.RemoveEdge(e.U, e.V) {
+			return fmt.Errorf("no edge {%d,%d} to remove", e.U, e.V)
+		}
+	case DeltaReweight:
+		if e.W < 0 {
+			return fmt.Errorf("negative weight %d", e.W)
+		}
+		if !g.inner.SetEdgeWeight(e.U, e.V, e.W) {
+			return fmt.Errorf("no edge {%d,%d} to reweight", e.U, e.V)
+		}
+	default:
+		return fmt.Errorf("unknown op %q (want %q, %q or %q)", e.Op, DeltaAdd, DeltaRemove, DeltaReweight)
+	}
+	return nil
+}
+
+// clone returns a deep copy of the public graph (used by the oracle to
+// detach a repair base from the snapshot a tenant is still serving).
+func (g *Graph) clone() *Graph { return &Graph{inner: g.inner.Clone()} }

@@ -1,0 +1,170 @@
+package cliqueapsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func deltaTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(5)
+	for _, e := range [][3]int64{{0, 1, 3}, {1, 2, 1}, {2, 3, 2}, {3, 4, 7}} {
+		if err := g.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestGraphDeltaApply(t *testing.T) {
+	g := deltaTestGraph(t)
+	next, err := g.Apply(GraphDelta{Edges: []EdgeDelta{
+		{Op: DeltaAdd, U: 0, V: 4, W: 2},
+		{Op: DeltaReweight, U: 1, V: 2, W: 9},
+		{Op: DeltaRemove, U: 2, V: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := next.Weight(0, 4); !ok || w != 2 {
+		t.Fatalf("added edge Weight(0,4) = %d, %v", w, ok)
+	}
+	if w, ok := next.Weight(2, 1); !ok || w != 9 {
+		t.Fatalf("reweighted edge Weight(2,1) = %d, %v (order must not matter)", w, ok)
+	}
+	if _, ok := next.Weight(2, 3); ok {
+		t.Fatal("removed edge still present")
+	}
+	if next.NumEdges() != 4 {
+		t.Fatalf("successor has %d edges, want 4", next.NumEdges())
+	}
+	// The base graph is untouched: Apply returns a successor, not a mutation.
+	if g.NumEdges() != 4 {
+		t.Fatalf("base mutated to %d edges", g.NumEdges())
+	}
+	if _, ok := g.Weight(0, 4); ok {
+		t.Fatal("added edge leaked into the base graph")
+	}
+	if w, _ := g.Weight(1, 2); w != 1 {
+		t.Fatalf("base weight(1,2) changed to %d", w)
+	}
+}
+
+func TestGraphDeltaApplyOrdered(t *testing.T) {
+	// Later deltas see earlier ones: remove-then-add the same pair is legal,
+	// add-then-add is not.
+	g := deltaTestGraph(t)
+	next, err := g.Apply(GraphDelta{Edges: []EdgeDelta{
+		{Op: DeltaRemove, U: 0, V: 1},
+		{Op: DeltaAdd, U: 0, V: 1, W: 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := next.Weight(0, 1); !ok || w != 8 {
+		t.Fatalf("remove+re-add Weight(0,1) = %d, %v", w, ok)
+	}
+	if _, err := g.Apply(GraphDelta{Edges: []EdgeDelta{
+		{Op: DeltaAdd, U: 0, V: 2, W: 1},
+		{Op: DeltaAdd, U: 0, V: 2, W: 2},
+	}}); err == nil || !strings.Contains(err.Error(), "delta 1") {
+		t.Fatalf("double add: %v, want error naming delta 1", err)
+	}
+}
+
+func TestGraphDeltaApplyValidation(t *testing.T) {
+	g := deltaTestGraph(t)
+	cases := []struct {
+		name string
+		d    []EdgeDelta
+		frag string // expected substring of the error
+	}{
+		{"empty", nil, "empty delta"},
+		{"out of range", []EdgeDelta{{Op: DeltaAdd, U: 0, V: 5, W: 1}}, "out of range"},
+		{"negative endpoint", []EdgeDelta{{Op: DeltaAdd, U: -1, V: 2, W: 1}}, "out of range"},
+		{"self loop", []EdgeDelta{{Op: DeltaAdd, U: 2, V: 2, W: 1}}, "self loop"},
+		{"negative weight", []EdgeDelta{{Op: DeltaAdd, U: 0, V: 2, W: -1}}, "negative weight"},
+		{"add existing", []EdgeDelta{{Op: DeltaAdd, U: 0, V: 1, W: 1}}, "already exists"},
+		{"remove missing", []EdgeDelta{{Op: DeltaRemove, U: 0, V: 2}}, "no edge"},
+		{"reweight missing", []EdgeDelta{{Op: DeltaReweight, U: 0, V: 2, W: 1}}, "no edge"},
+		{"reweight negative", []EdgeDelta{{Op: DeltaReweight, U: 0, V: 1, W: -3}}, "negative weight"},
+		{"unknown op", []EdgeDelta{{Op: "toggle", U: 0, V: 1}}, "unknown op"},
+	}
+	for _, tc := range cases {
+		if _, err := g.Apply(GraphDelta{Edges: tc.d}); err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.frag)
+		}
+	}
+	// Errors name the offending index so API clients can point at it.
+	_, err := g.Apply(GraphDelta{Edges: []EdgeDelta{
+		{Op: DeltaReweight, U: 0, V: 1, W: 5},
+		{Op: DeltaRemove, U: 1, V: 3},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "delta 1") {
+		t.Fatalf("err = %v, want index 1 named", err)
+	}
+	// A failed Apply leaves the base untouched even when earlier deltas were
+	// valid (atomicity: the clone absorbed them, not g).
+	if w, _ := g.Weight(0, 1); w != 3 {
+		t.Fatalf("failed Apply mutated the base: weight(0,1) = %d", w)
+	}
+}
+
+func TestGraphDeltaTouched(t *testing.T) {
+	d := GraphDelta{Edges: []EdgeDelta{
+		{Op: DeltaAdd, U: 7, V: 2},
+		{Op: DeltaRemove, U: 2, V: 0},
+		{Op: DeltaReweight, U: 7, V: 5},
+	}}
+	got := d.Touched()
+	want := []int{0, 2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Touched() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Touched() = %v, want %v", got, want)
+		}
+	}
+	if got := (GraphDelta{}).Touched(); len(got) != 0 {
+		t.Fatalf("empty delta Touched() = %v", got)
+	}
+}
+
+func TestGraphWeightAndMutators(t *testing.T) {
+	g := deltaTestGraph(t)
+	if w, ok := g.Weight(0, 1); !ok || w != 3 {
+		t.Fatalf("Weight(0,1) = %d, %v", w, ok)
+	}
+	if w, ok := g.Weight(1, 0); !ok || w != 3 {
+		t.Fatalf("Weight(1,0) = %d, %v (undirected)", w, ok)
+	}
+	if _, ok := g.Weight(0, 3); ok {
+		t.Fatal("absent edge reported present")
+	}
+}
+
+func TestRandomDeltasApplyCleanly(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomGraph(24, 40, seed)
+		d := RandomDeltas(g, 12, 50, seed)
+		if len(d.Edges) != 12 {
+			t.Fatalf("seed %d: %d deltas, want 12", seed, len(d.Edges))
+		}
+		if _, err := g.Apply(d); err != nil {
+			t.Fatalf("seed %d: generated delta does not apply: %v", seed, err)
+		}
+	}
+	// Deterministic in the seed.
+	g := RandomGraph(16, 20, 3)
+	a, b := RandomDeltas(g, 6, 9, 42), RandomDeltas(g, 6, 9, 42)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	// A single-node graph admits no valid mutation.
+	if d := RandomDeltas(NewGraph(1), 4, 5, 1); len(d.Edges) != 0 {
+		t.Fatalf("n=1 deltas: %+v", d.Edges)
+	}
+}

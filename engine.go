@@ -229,6 +229,21 @@ func (e *Engine) Run(ctx context.Context, g *Graph, opts ...RunOption) (*Result,
 	return buildResult(rc.alg, seed, est, clq.Metrics()), nil
 }
 
+// SSSP returns the exact single-source shortest-path distances from src in
+// g (sequential Dijkstra), with Inf marking unreachable nodes. It is the
+// per-source primitive of the oracle's incremental repair path — repairing
+// a published matrix after a small edge delta costs a few SSSP runs from
+// the touched endpoints instead of a full congested-clique pipeline.
+func SSSP(g *Graph, src int) ([]int64, error) {
+	if g == nil || g.inner == nil {
+		return nil, errors.New("cliqueapsp: nil graph")
+	}
+	if src < 0 || src >= g.inner.N() {
+		return nil, fmt.Errorf("cliqueapsp: source %d out of range for n=%d", src, g.inner.N())
+	}
+	return g.inner.Dijkstra(src), nil
+}
+
 func buildResult(alg Algorithm, seed int64, est core.Estimate, m cc.Metrics) *Result {
 	res := &Result{
 		Distances:   newDistanceView(est.D),

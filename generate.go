@@ -48,6 +48,79 @@ func RandomGraph(n int, maxW int64, seed int64) *Graph {
 	return g
 }
 
+// RandomDeltas draws a reproducible stream of count edge mutations that is
+// valid against g when applied in order: a mix of adds (fresh random pairs),
+// removes and reweights of edges that exist at that point in the stream.
+// Weights are uniform in [1, maxW]. The same (g, count, maxW, seed) always
+// yields the same stream — the workload generator for incremental-update
+// tests and benchmarks.
+func RandomDeltas(g *Graph, count int, maxW int64, seed int64) GraphDelta {
+	if maxW < 1 {
+		maxW = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	if n < 2 {
+		return GraphDelta{} // no valid mutation exists on a single node
+	}
+	type pair [2]int
+	edges := g.Edges()
+	pairs := make([]pair, 0, len(edges)+count)
+	at := make(map[pair]int, len(edges)+count)
+	for _, e := range edges {
+		p := pair{e.U, e.V}
+		at[p] = len(pairs)
+		pairs = append(pairs, p)
+	}
+	drop := func(p pair) {
+		i := at[p]
+		last := len(pairs) - 1
+		pairs[i] = pairs[last]
+		at[pairs[i]] = i
+		pairs = pairs[:last]
+		delete(at, p)
+	}
+	var d GraphDelta
+	for len(d.Edges) < count {
+		op := rng.Intn(3)
+		complete := len(pairs) == n*(n-1)/2
+		if len(pairs) == 0 {
+			op = 0
+		} else if complete {
+			op = 1 + rng.Intn(2)
+		}
+		switch op {
+		case 0: // add a fresh pair
+			var p pair
+			for {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				if _, exists := at[pair{u, v}]; exists {
+					continue
+				}
+				p = pair{u, v}
+				break
+			}
+			at[p] = len(pairs)
+			pairs = append(pairs, p)
+			d.Edges = append(d.Edges, EdgeDelta{Op: DeltaAdd, U: p[0], V: p[1], W: 1 + rng.Int63n(maxW)})
+		case 1: // remove an existing edge
+			p := pairs[rng.Intn(len(pairs))]
+			drop(p)
+			d.Edges = append(d.Edges, EdgeDelta{Op: DeltaRemove, U: p[0], V: p[1]})
+		case 2: // reweight an existing edge
+			p := pairs[rng.Intn(len(pairs))]
+			d.Edges = append(d.Edges, EdgeDelta{Op: DeltaReweight, U: p[0], V: p[1], W: 1 + rng.Int63n(maxW)})
+		}
+	}
+	return d
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

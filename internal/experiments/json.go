@@ -121,6 +121,40 @@ type KernelBench struct {
 	Sizes       []KernelSize `json:"sizes"`
 }
 
+// PatchSize compares the two ways a single-edge reweight can publish at one
+// graph size: through the incremental repair path (bounded recompute from
+// the dirty sources) and through a from-scratch rebuild of the same
+// successor graph. Speedup is rebuild_ns / repair_ns.
+type PatchSize struct {
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	RebuildNS int64   `json:"rebuild_ns"`
+	RepairNS  int64   `json:"repair_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// PatchFrac is one point of the fallback-threshold sweep: the same
+// single-edge delta published under a given RepairMaxDirtyFrac, whether the
+// oracle took the repair path or fell back to a rebuild, and how long the
+// publish took.
+type PatchFrac struct {
+	Frac     float64 `json:"frac"`
+	Repaired bool    `json:"repaired"`
+	NS       int64   `json:"ns"`
+}
+
+// PatchBench reports the incremental-update path's win over full rebuilds:
+// per-size repair-vs-rebuild latency and a sweep of the dirty-set fallback
+// threshold at the largest measured size. Filled by ccbench -json (the cmd
+// drives the oracle package; this package only carries the shape).
+type PatchBench struct {
+	Algorithm string      `json:"algorithm"`
+	Sizes     []PatchSize `json:"sizes"`
+	// FracN is the graph size the fallback sweep ran at.
+	FracN     int         `json:"frac_n"`
+	FracSweep []PatchFrac `json:"frac_sweep"`
+}
+
 // JSONReport is the top-level document: the suite configuration and every
 // experiment that ran.
 type JSONReport struct {
@@ -135,6 +169,7 @@ type JSONReport struct {
 	Obs         *ObsBench        `json:"obs,omitempty"`
 	Trace       *TraceBench      `json:"trace,omitempty"`
 	Kernel      *KernelBench     `json:"kernel,omitempty"`
+	Patch       *PatchBench      `json:"patch,omitempty"`
 }
 
 // RunJSON executes the selected experiments and assembles the report,

@@ -106,6 +106,70 @@ func (g *Graph) AddArc(u, v int, w int64) {
 	g.arcs++
 }
 
+// Weight returns the weight of the lightest stored edge between u and v and
+// whether any such edge exists. Implicit cap arcs are not consulted.
+func (g *Graph) Weight(u, v int) (int64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	w, found := int64(0), false
+	for _, a := range g.adj[u] {
+		if a.To == v && (!found || a.W < w) {
+			w, found = a.W, true
+		}
+	}
+	return w, found
+}
+
+// SetEdgeWeight reweights the undirected edge {u,v} in place, updating both
+// arc directions. It reports whether the edge existed; when parallel arcs
+// exist all of them take the new weight. It panics on directed graphs or
+// invalid (u, v, w) exactly like AddEdge.
+func (g *Graph) SetEdgeWeight(u, v int, w int64) bool {
+	if g.directed {
+		panic("graph: SetEdgeWeight on directed graph")
+	}
+	g.checkEndpoints(u, v, w)
+	found := false
+	for _, pair := range [2][2]int{{u, v}, {v, u}} {
+		arcs := g.adj[pair[0]]
+		for i := range arcs {
+			if arcs[i].To == pair[1] {
+				arcs[i].W = w
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// RemoveEdge removes the undirected edge {u,v}, deleting both arc
+// directions (and all parallel copies). It reports whether any edge was
+// removed. It panics on directed graphs or out-of-range endpoints.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if g.directed {
+		panic("graph: RemoveEdge on directed graph")
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: endpoint out of range: (%d,%d) with n=%d", u, v, g.n))
+	}
+	removed := false
+	for _, pair := range [2][2]int{{u, v}, {v, u}} {
+		arcs := g.adj[pair[0]]
+		out := arcs[:0]
+		for _, a := range arcs {
+			if a.To == pair[1] {
+				removed = true
+				g.arcs--
+				continue
+			}
+			out = append(out, a)
+		}
+		g.adj[pair[0]] = out
+	}
+	return removed
+}
+
 func (g *Graph) checkEndpoints(u, v int, w int64) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: endpoint out of range: (%d,%d) with n=%d", u, v, g.n))

@@ -120,7 +120,10 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d", &u, &v, &w); err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", line, err)
 			}
-			if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v || w < 0 {
+			if u == v {
+				return nil, fmt.Errorf("graph: line %d: edge %d: self loop at node %d", line, edges, u)
+			}
+			if u < 0 || u >= g.n || v < 0 || v >= g.n || w < 0 {
 				return nil, fmt.Errorf("graph: line %d: invalid edge %d %d %d", line, u, v, w)
 			}
 			if directed {

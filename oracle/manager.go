@@ -56,6 +56,11 @@ type ManagerConfig struct {
 	// attempts, tagged with the tenant name. Per-tenant Config.OnRebuild
 	// hooks still fire.
 	OnRebuild func(name string, version uint64, elapsed time.Duration, err error)
+	// OnRepair, when non-nil, observes every tenant's completed incremental
+	// repairs — publishes that patched the previous distances instead of
+	// running the engine — tagged with the tenant name. Per-tenant
+	// Config.OnRepair hooks still fire.
+	OnRepair func(name string, version uint64, elapsed time.Duration, err error)
 	// OnPhase, when non-nil, observes every tenant's per-phase build timing,
 	// tagged with the tenant name (see Config.OnPhase). Per-tenant
 	// Config.OnPhase hooks still fire.
@@ -259,6 +264,15 @@ func (m *Manager) Create(name string, tc TenantConfig) (*Tenant, error) {
 	if hook := m.cfg.OnRebuild; hook != nil {
 		inner := cfg.OnRebuild
 		cfg.OnRebuild = func(version uint64, elapsed time.Duration, err error) {
+			if inner != nil {
+				inner(version, elapsed, err)
+			}
+			hook(name, version, elapsed, err)
+		}
+	}
+	if hook := m.cfg.OnRepair; hook != nil {
+		inner := cfg.OnRepair
+		cfg.OnRepair = func(version uint64, elapsed time.Duration, err error) {
 			if inner != nil {
 				inner(version, elapsed, err)
 			}
@@ -803,6 +817,8 @@ func (m *Manager) persist(name string, eps float64, seedPinned bool, p Published
 		Seed:        p.Result.Seed,
 		SeedPinned:  seedPinned,
 		Engine:      cliqueapsp.EngineVersion,
+		BaseVersion: p.BaseVersion,
+		DeltaCount:  p.DeltaCount,
 		Graph:       p.Graph,
 		Distances:   p.Result.Distances,
 	})
@@ -1440,6 +1456,33 @@ func (t *Tenant) Evicted() bool { return t.evicted.Load() }
 func (t *Tenant) SetGraph(g *cliqueapsp.Graph) (uint64, error) {
 	t.touch()
 	return t.m.setGraph(t, g)
+}
+
+// ApplyDelta validates and applies a batch of edge deltas to this tenant's
+// newest graph and schedules the successor snapshot (see Oracle.ApplyDelta
+// for repair-vs-rebuild semantics). The delta is charged one call against
+// the tenant's quota — refunded if it is rejected — and refreshes LRU
+// recency like any other accepted traffic. No node re-admission is needed:
+// deltas change edges, never the node count the budget charges for.
+func (t *Tenant) ApplyDelta(d cliqueapsp.GraphDelta) (uint64, error) {
+	return t.ApplyDeltaCtx(context.Background(), d)
+}
+
+// ApplyDeltaCtx is ApplyDelta with a caller context; a sampled request's
+// trace gains a quota-throttle event on rejection.
+func (t *Tenant) ApplyDeltaCtx(ctx context.Context, d cliqueapsp.GraphDelta) (uint64, error) {
+	if err := t.allow(1); err != nil {
+		quotaThrottled(ctx, err)
+		return 0, err
+	}
+	t.touch()
+	v, err := t.o.ApplyDelta(d)
+	if err != nil {
+		// The quota meters accepted work; a rejected delta scheduled nothing
+		// and gets its token back.
+		t.lim.Load().refundCall(1)
+	}
+	return v, err
 }
 
 // Wait blocks until the tenant serves version ≥ version (see Oracle.Wait).

@@ -53,7 +53,17 @@ var (
 	// did not: the snapshot keeps serving and the read is retried on the
 	// next query.
 	ErrColdRead = errors.New("oracle: cold snapshot read failed")
+	// ErrNoGraph is returned by ApplyDelta when the oracle has neither a
+	// serving snapshot nor a queued graph to patch: a delta describes a
+	// change to something, so there must be a base graph first.
+	ErrNoGraph = errors.New("oracle: no base graph to patch (upload a graph first)")
 )
+
+// defaultRepairMaxDirtyFrac is the repair/rebuild tipping point when
+// Config.RepairMaxDirtyFrac is zero: repairs whose dirty set exceeds a
+// quarter of the nodes run the full pipeline instead — beyond that the
+// per-source Dijkstras approach the cost of a fresh exact build anyway.
+const defaultRepairMaxDirtyFrac = 0.25
 
 // Config configures an Oracle. The zero value is usable: a private Engine
 // with package defaults and the default algorithm.
@@ -80,6 +90,16 @@ type Config struct {
 	// version built, the wall time it took, and nil or the build error. It is
 	// called from the build goroutine and must not block for long.
 	OnRebuild func(version uint64, elapsed time.Duration, err error)
+	// OnRepair, when non-nil, observes every completed incremental repair —
+	// a publish that patched the previous snapshot's distances instead of
+	// running the engine. Same contract as OnRebuild; a delta that fell back
+	// to a full rebuild reports through OnRebuild instead.
+	OnRepair func(version uint64, elapsed time.Duration, err error)
+	// RepairMaxDirtyFrac bounds the incremental repair path: a delta whose
+	// dirty node set exceeds this fraction of n falls back to a full engine
+	// rebuild. 0 selects the default (0.25); a negative value disables
+	// repair entirely, turning every delta into a coalesced rebuild.
+	RepairMaxDirtyFrac float64
 	// OnPhase, when non-nil, observes every pipeline phase of every build
 	// attempt after the run finishes: the phase name (as reported by the
 	// engine's progress checkpoints) and its wall time. Phases are reported
@@ -122,12 +142,17 @@ type Config struct {
 	name string
 }
 
-// Published describes one published snapshot to Config.OnPublish. Both
-// fields must be treated as read-only.
+// Published describes one published snapshot to Config.OnPublish. All
+// fields must be treated as read-only. BaseVersion and DeltaCount are the
+// incremental-repair provenance: a repaired snapshot names the snapshot its
+// distances were patched from and how many edge deltas were folded in,
+// while a from-scratch engine build carries (0, 0).
 type Published struct {
-	Version uint64
-	Graph   *cliqueapsp.Graph
-	Result  *cliqueapsp.Result
+	Version     uint64
+	Graph       *cliqueapsp.Graph
+	Result      *cliqueapsp.Result
+	BaseVersion uint64
+	DeltaCount  int
 }
 
 // PhaseTiming is the wall time of one pipeline phase of a build, in
@@ -240,6 +265,16 @@ type Stats struct {
 	Rebuilds      uint64        `json:"rebuilds"`
 	RebuildErrors uint64        `json:"rebuild_errors"`
 	LastRebuild   time.Duration `json:"last_rebuild_ns"`
+	// Repairs counts snapshots published by the incremental repair path —
+	// edge deltas folded into the previous distances without an engine run.
+	// RepairFallbacks counts deltas that wanted a repair but ran the full
+	// pipeline instead (dirty set too large, cold base, approximate matrix
+	// with an increase, or repair disabled); those publishes count under
+	// Rebuilds. CoalescedDeltas counts delta edges that merged into work
+	// already queued instead of triggering their own publish.
+	Repairs         uint64 `json:"repairs"`
+	RepairFallbacks uint64 `json:"repair_fallbacks"`
+	CoalescedDeltas uint64 `json:"coalesced_deltas"`
 	// LastBuildPhases is the per-phase wall-time breakdown of the serving
 	// snapshot's build (nil for restored or cold snapshots, which skipped
 	// the engine entirely).
@@ -268,6 +303,8 @@ type counters struct {
 	answers                                atomic.Uint64
 	rowsBuilt, rowHits                     atomic.Uint64
 	rebuilds, rebuildErrors                atomic.Uint64
+	repairs, repairFallbacks               atomic.Uint64
+	coalescedDeltas                        atomic.Uint64
 	restores                               atomic.Uint64
 	coldServes                             atomic.Uint64
 }
@@ -285,16 +322,36 @@ type Oracle struct {
 	cnt counters
 
 	mu       sync.Mutex
-	version  uint64            // last version assigned (SetGraph, restore, or reservation)
-	graphSet bool              // a SetGraph has been accepted (blocks restores)
-	pending  *cliqueapsp.Graph // latest graph awaiting build (nil = none)
-	pendingV uint64            // version of pending
-	building bool              // build goroutine live
-	lastDone uint64            // version of the last completed build attempt
-	lastErr  error             // error of that attempt (nil on success)
-	notify   chan struct{}     // closed and replaced on every completion
+	version  uint64       // last version assigned (SetGraph, restore, or reservation)
+	graphSet bool         // a SetGraph or ApplyDelta has been accepted (blocks restores)
+	pending  *pendingWork // coalesced work awaiting the build loop (nil = none)
+	// latestG/latestV are the newest accepted graph and the version it will
+	// (or did) publish under — they cover the window where the build loop has
+	// popped the pending unit but not yet published it, when neither o.pending
+	// nor o.cur reflects the newest registered state. ApplyDelta must extend
+	// THIS graph: validating against the still-serving snapshot there would
+	// silently drop the in-flight changes from the successor.
+	latestG  *cliqueapsp.Graph
+	latestV  uint64
+	building bool          // build goroutine live
+	lastDone uint64        // version of the last completed build attempt
+	lastErr  error         // error of that attempt (nil on success)
+	notify   chan struct{} // closed and replaced on every completion
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// pendingWork is the coalesced unit the build loop pops: the newest graph
+// to serve and — when everything since the serving snapshot arrived as edge
+// deltas — the delta trail that produced it, so the loop can repair the
+// published distances instead of rebuilding them. deltas nil means a full
+// rebuild is required: a fresh SetGraph upload, or a stream that coalesced
+// onto one (an upload invalidates any delta bookkeeping before it).
+type pendingWork struct {
+	g      *cliqueapsp.Graph
+	v      uint64                 // version the publish will carry
+	deltas []cliqueapsp.EdgeDelta // nil = full rebuild
+	baseV  uint64                 // serving version the deltas extend
 }
 
 // New returns an Oracle ready to accept SetGraph.
@@ -335,13 +392,110 @@ func (o *Oracle) SetGraph(g *cliqueapsp.Graph) (uint64, error) {
 	}
 	o.version++
 	o.graphSet = true
-	o.pending, o.pendingV = g, o.version
+	// A fresh upload supersedes any queued deltas: deltas describe changes
+	// to a lineage this graph just replaced, so the work degrades to a full
+	// rebuild of the newest graph.
+	o.pending = &pendingWork{g: g, v: o.version}
+	o.latestG, o.latestV = g, o.version
+	o.kickLocked()
+	return o.version, nil
+}
+
+// kickLocked ensures the build loop is running. Callers hold o.mu.
+func (o *Oracle) kickLocked() {
 	if !o.building {
 		o.building = true
 		o.wg.Add(1)
 		go o.buildLoop()
 	}
+}
+
+// ApplyDelta validates d against the newest registered graph (queued or
+// in-flight work if any, else the serving snapshot's graph), schedules the
+// successor snapshot, and returns the version it will publish under. Small deltas
+// against a hot snapshot publish through the incremental repair path —
+// bounded Dijkstra from the touched endpoints folded into the published
+// matrix — while large dirty sets, cold bases, and approximate matrices
+// facing a weight increase fall back to a coalesced full rebuild. Deltas
+// arriving while work is queued coalesce onto it exactly like SetGraph
+// calls do: one publish serves the newest state.
+//
+// An invalid delta (bad endpoint, self loop, negative weight, adding an
+// existing edge, removing a missing one) mutates nothing and returns an
+// error naming the offending delta index. ErrNoGraph reports that there is
+// no base graph to patch.
+func (o *Oracle) ApplyDelta(d cliqueapsp.GraphDelta) (uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return 0, ErrClosed
+	}
+	if o.pending != nil {
+		// Coalesce onto the queued work: the delta extends the newest graph,
+		// and the pending unit keeps its shape (a queued full rebuild stays a
+		// full rebuild; a queued repair grows its trail).
+		g, err := o.pending.g.Apply(d)
+		if err != nil {
+			return 0, err
+		}
+		o.version++
+		o.graphSet = true
+		o.cnt.coalescedDeltas.Add(uint64(len(d.Edges)))
+		work := &pendingWork{g: g, v: o.version, baseV: o.pending.baseV}
+		if o.pending.deltas != nil {
+			work.deltas = append(o.pending.deltas[:len(o.pending.deltas):len(o.pending.deltas)], d.Edges...)
+		}
+		o.pending = work
+		o.latestG, o.latestV = g, o.version
+		o.kickLocked()
+		return o.version, nil
+	}
+	// No queued unit: the delta extends the newest accepted graph. That is
+	// latestG when one exists — it also covers work the build loop already
+	// popped but has not published yet — and otherwise the serving snapshot's
+	// graph (a restored or rehydrated tenant that never saw a live upload).
+	base, baseV := o.latestG, o.latestV
+	if base == nil {
+		cur := o.cur.Load()
+		if cur == nil {
+			return 0, ErrNoGraph
+		}
+		bg, err := o.baseGraph(cur)
+		if err != nil {
+			return 0, err
+		}
+		base, baseV = bg, cur.version
+	}
+	g, err := base.Apply(d)
+	if err != nil {
+		return 0, err
+	}
+	o.version++
+	o.graphSet = true
+	o.pending = &pendingWork{
+		g:      g,
+		v:      o.version,
+		deltas: append([]cliqueapsp.EdgeDelta(nil), d.Edges...),
+		baseV:  baseV,
+	}
+	o.latestG, o.latestV = g, o.version
+	o.kickLocked()
 	return o.version, nil
+}
+
+// baseGraph resolves the serving snapshot's input graph: resident for hot
+// snapshots, lazily decoded from the snapshot file for cold ones (a cold
+// base always rebuilds, but the delta still needs a graph to validate and
+// apply against).
+func (o *Oracle) baseGraph(cur *snapshot) (*cliqueapsp.Graph, error) {
+	if cur.cold != nil {
+		g, err := cur.cold.Graph()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrColdRead, err)
+		}
+		return g, nil
+	}
+	return cur.g, nil
 }
 
 // copyGraph snapshots the caller's graph at registration time: one O(m)
@@ -357,8 +511,9 @@ func copyGraph(g *cliqueapsp.Graph) *cliqueapsp.Graph {
 	return cp
 }
 
-// buildLoop drains pending graphs until none remain, publishing a snapshot
-// per build. At most one buildLoop runs at a time (guarded by o.building).
+// buildLoop drains pending work until none remains, publishing a snapshot
+// per unit — through the engine for full rebuilds, through the repair path
+// for small deltas. At most one buildLoop runs at a time (o.building).
 func (o *Oracle) buildLoop() {
 	defer o.wg.Done()
 	for {
@@ -370,31 +525,24 @@ func (o *Oracle) buildLoop() {
 		}
 		o.mu.Unlock()
 
-		// Every build attempt gets its own trace (root ends after the
-		// completion bookkeeping below): builds are rare, and the per-phase
-		// child spans are a flame view of the pipeline itself. An abandoned
-		// root (acquire failed, oracle closing) is simply never submitted.
-		root := o.cfg.Tracer.StartRoot("oracle.build", trace.TraceID{}, trace.SpanID{})
-		if root != nil && o.cfg.name != "" {
-			root.SetAttr("tenant", o.cfg.name)
-		}
-
 		// Fleet admission: wait for a build slot BEFORE popping the pending
-		// graph, so uploads arriving while this tenant queues keep coalescing
-		// and the build that finally runs uses the newest graph. Queue wait
-		// is charged to the gate's accounting, not to BuildTimeout (which
-		// starts inside build).
+		// work, so uploads and deltas arriving while this tenant queues keep
+		// coalescing and the publish that finally runs serves the newest
+		// state. Queue wait is charged to the gate's accounting, not to
+		// BuildTimeout (which starts inside build). A repair occupies a slot
+		// like a build does: it is cheaper, but it still burns CPU the fleet
+		// budgeted.
 		gateStart := time.Now()
 		if err := o.cfg.gate.Acquire(o.ctx); err != nil {
 			// Only a dying oracle cancels o.ctx; the loop top observes
 			// closed and exits.
 			continue
 		}
-		root.AddChild("build.gate_wait", gateStart, time.Since(gateStart))
+		gateWait := time.Since(gateStart)
 
 		o.mu.Lock()
-		g, v := o.pending, o.pendingV
-		if g == nil || o.closed {
+		w := o.pending
+		if w == nil || o.closed {
 			o.building = false
 			o.mu.Unlock()
 			o.cfg.gate.Release()
@@ -402,16 +550,52 @@ func (o *Oracle) buildLoop() {
 		}
 		o.pending = nil
 		o.mu.Unlock()
-		if root != nil {
-			root.SetInt("version", int64(v))
-			root.SetInt("graph_n", int64(g.N()))
+
+		// Repair or rebuild? Decided after the pop so the choice sees the
+		// final coalesced unit, and before the trace root so the trace is
+		// named for what actually ran.
+		plan := o.planRepair(w)
+
+		// Every publish attempt gets its own trace (root ends after the
+		// completion bookkeeping below): builds are rare, and the child
+		// spans are a flame view of the pipeline (or repair) itself. An
+		// abandoned root is simply never submitted.
+		rootName := "oracle.build"
+		if plan != nil {
+			rootName = "oracle.repair"
 		}
+		root := o.cfg.Tracer.StartRoot(rootName, trace.TraceID{}, trace.SpanID{})
+		if root != nil {
+			if o.cfg.name != "" {
+				root.SetAttr("tenant", o.cfg.name)
+			}
+			root.SetInt("version", int64(w.v))
+			root.SetInt("graph_n", int64(w.g.N()))
+			if w.deltas != nil {
+				root.SetInt("deltas", int64(len(w.deltas)))
+				root.SetInt("base_version", int64(w.baseV))
+			}
+			if plan != nil {
+				root.SetInt("dirty", int64(len(plan.dirty)))
+			}
+		}
+		root.AddChild("build.gate_wait", gateStart, gateWait)
 
 		start := time.Now()
-		snap, phases, err := o.build(g, v)
+		var (
+			snap   *snapshot
+			phases []PhaseTiming
+			err    error
+		)
+		repaired := plan != nil
+		if repaired {
+			snap, phases = o.repair(w, plan)
+		} else {
+			snap, phases, err = o.build(w.g, w.v)
+		}
 		o.cfg.gate.Release()
 		elapsed := time.Since(start)
-		// The engine's phases ran sequentially inside build, so their spans
+		// The phases ran sequentially inside build/repair, so their spans
 		// reconstruct as siblings with cumulative starts.
 		phaseStart := start
 		for _, p := range phases {
@@ -424,29 +608,39 @@ func (o *Oracle) buildLoop() {
 			snap.phases = phases
 			// The persistence hook runs before the snapshot is stored, so no
 			// query or waiter can observe the version until it is durable.
-			// The previous snapshot keeps serving meanwhile.
+			// The previous snapshot keeps serving meanwhile. Repaired
+			// snapshots persist like built ones — with their provenance —
+			// so restore, tiering and GC treat them identically.
 			if o.cfg.OnPublish != nil {
+				pub := Published{Version: w.v, Graph: snap.g, Result: snap.res}
+				if repaired {
+					pub.BaseVersion, pub.DeltaCount = w.baseV, len(w.deltas)
+				}
 				pubStart := time.Now()
-				o.cfg.OnPublish(Published{Version: v, Graph: snap.g, Result: snap.res})
+				o.cfg.OnPublish(pub)
 				// The hook IS the persistence path when a store is wired, so
 				// this child measures persist+publish latency.
 				root.AddChild("oracle.publish", pubStart, time.Since(pubStart))
 			}
 			o.mu.Lock()
-			// Version-monotonic under the lock, as a belt: builds are
+			// Version-monotonic under the lock, as a belt: publishes are
 			// serialized with increasing versions and restores are refused
 			// once a SetGraph was accepted, so cur can never be newer here.
-			if cur := o.cur.Load(); cur == nil || cur.version < v {
+			if cur := o.cur.Load(); cur == nil || cur.version < w.v {
 				o.cur.Store(snap)
 			}
 			o.mu.Unlock()
-			o.cnt.rebuilds.Add(1)
+			if repaired {
+				o.cnt.repairs.Add(1)
+			} else {
+				o.cnt.rebuilds.Add(1)
+			}
 		} else {
 			o.cnt.rebuildErrors.Add(1)
 		}
 
 		o.mu.Lock()
-		o.lastDone, o.lastErr = v, err
+		o.lastDone, o.lastErr = w.v, err
 		close(o.notify)
 		o.notify = make(chan struct{})
 		o.mu.Unlock()
@@ -456,8 +650,12 @@ func (o *Oracle) buildLoop() {
 				o.cfg.OnPhase(p.Phase, p.Duration)
 			}
 		}
-		if o.cfg.OnRebuild != nil {
-			o.cfg.OnRebuild(v, elapsed, err)
+		if repaired {
+			if o.cfg.OnRepair != nil {
+				o.cfg.OnRepair(w.v, elapsed, err)
+			}
+		} else if o.cfg.OnRebuild != nil {
+			o.cfg.OnRebuild(w.v, elapsed, err)
 		}
 		root.End()
 	}
@@ -797,16 +995,19 @@ func (o *Oracle) PathCtx(ctx context.Context, u, v int) (PathResult, error) {
 // Stats returns the oracle's current counters.
 func (o *Oracle) Stats() Stats {
 	st := Stats{
-		DistQueries:   o.cnt.distQueries.Load(),
-		BatchQueries:  o.cnt.batchQueries.Load(),
-		PathQueries:   o.cnt.pathQueries.Load(),
-		Answers:       o.cnt.answers.Load(),
-		RowsBuilt:     o.cnt.rowsBuilt.Load(),
-		RowHits:       o.cnt.rowHits.Load(),
-		Rebuilds:      o.cnt.rebuilds.Load(),
-		RebuildErrors: o.cnt.rebuildErrors.Load(),
-		Restores:      o.cnt.restores.Load(),
-		ColdServes:    o.cnt.coldServes.Load(),
+		DistQueries:     o.cnt.distQueries.Load(),
+		BatchQueries:    o.cnt.batchQueries.Load(),
+		PathQueries:     o.cnt.pathQueries.Load(),
+		Answers:         o.cnt.answers.Load(),
+		RowsBuilt:       o.cnt.rowsBuilt.Load(),
+		RowHits:         o.cnt.rowHits.Load(),
+		Rebuilds:        o.cnt.rebuilds.Load(),
+		RebuildErrors:   o.cnt.rebuildErrors.Load(),
+		Repairs:         o.cnt.repairs.Load(),
+		RepairFallbacks: o.cnt.repairFallbacks.Load(),
+		CoalescedDeltas: o.cnt.coalescedDeltas.Load(),
+		Restores:        o.cnt.restores.Load(),
+		ColdServes:      o.cnt.coldServes.Load(),
 	}
 	if s := o.cur.Load(); s != nil {
 		st.Version = s.version

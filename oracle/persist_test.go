@@ -245,6 +245,61 @@ func TestManagerPersistsOnPublish(t *testing.T) {
 	}
 }
 
+// TestManagerPersistsRepairProvenance: a repaired publish lands on disk like
+// a built one, carrying the base version and delta count it descends from,
+// and the fleet-level OnRepair hook observes it.
+func TestManagerPersistsRepairProvenance(t *testing.T) {
+	dir := openStore(t)
+	repairs := make(chan uint64, 4)
+	m := oracle.NewManager(oracle.ManagerConfig{
+		Base:     oracle.Config{Algorithm: "test-exact", RepairMaxDirtyFrac: 1},
+		Store:    dir,
+		OnRepair: func(tenant string, v uint64, d time.Duration, err error) { repairs <- v },
+	})
+	defer m.Close()
+
+	tn := mustTenant(t, m, "alpha", oracle.TenantConfig{})
+	v1 := setAndWait(t, tn, pathGraph(t, 6, 2))
+	if snap, err := dir.Load("alpha"); err != nil || snap.BaseVersion != 0 || snap.DeltaCount != 0 {
+		t.Fatalf("built snapshot provenance: %+v, %v (want zero repair provenance)", snap, err)
+	}
+
+	v2, err := tn.ApplyDelta(cliqueapsp.GraphDelta{Edges: []cliqueapsp.EdgeDelta{
+		{Op: cliqueapsp.DeltaReweight, U: 0, V: 1, W: 9},
+		{Op: cliqueapsp.DeltaAdd, U: 0, V: 5, W: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tn.Wait(ctx, v2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := dir.Load("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != v2 || snap.BaseVersion != v1 || snap.DeltaCount != 2 {
+		t.Fatalf("repaired snapshot provenance v%d base=%d deltas=%d, want v%d base=%d deltas=2",
+			snap.Version, snap.BaseVersion, snap.DeltaCount, v2, v1)
+	}
+	if d := snap.Distances.At(0, 5); d != 1 {
+		t.Fatalf("persisted repaired d(0,5) = %d, want 1", d)
+	}
+	select {
+	case v := <-repairs:
+		if v != v2 {
+			t.Fatalf("OnRepair saw v%d, want v%d", v, v2)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fleet OnRepair hook never fired")
+	}
+	if st := tn.Stats(); st.Oracle.Repairs != 1 {
+		t.Fatalf("tenant repairs = %d, want 1", st.Oracle.Repairs)
+	}
+}
+
 func TestManagerRehydratesEvictedTenant(t *testing.T) {
 	dir := openStore(t)
 	evicted := make(chan string, 8)

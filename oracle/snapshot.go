@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	cliqueapsp "github.com/congestedclique/cliqueapsp"
@@ -35,9 +36,15 @@ type snapshot struct {
 	cold     *tier.Reader // non-nil = rows live on disk behind the row cache
 
 	// Hot next-hop memoization: built at most once per row, no failure mode
-	// (the resident matrix cannot error).
-	rowOnce []sync.Once
-	rows    [][]int
+	// (the resident matrix cannot error). rowBuilt mirrors rowOnce with an
+	// observable flag: the repair path reads it (atomically, for the
+	// happens-before with the builder's Store) to carry finished rows into
+	// a successor snapshot. rowOnce itself must never be probed from outside
+	// row() — a Do on the still-serving snapshot would mark an unbuilt row
+	// as done.
+	rowOnce  []sync.Once
+	rowBuilt []atomic.Bool
+	rows     [][]int
 
 	routerOnce sync.Once
 	router     *cliqueapsp.GreedyRouter
@@ -66,15 +73,39 @@ type nhFlight struct {
 func newSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result, cnt *counters) *snapshot {
 	n := g.N()
 	return &snapshot{
-		version: version,
-		builtAt: time.Now(),
-		g:       g,
-		res:     res,
-		n:       n,
-		cnt:     cnt,
-		rowOnce: make([]sync.Once, n),
-		rows:    make([][]int, n),
+		version:  version,
+		builtAt:  time.Now(),
+		g:        g,
+		res:      res,
+		n:        n,
+		cnt:      cnt,
+		rowOnce:  make([]sync.Once, n),
+		rowBuilt: make([]atomic.Bool, n),
+		rows:     make([][]int, n),
 	}
+}
+
+// newRepairedSnapshot is newSnapshot plus next-hop carryover: rows the base
+// snapshot already materialized stay valid on the successor wherever the
+// repair proved them untouched (reuse[u]), so a patched tenant does not
+// re-derive its hot routing state. Rows are immutable once built, so sharing
+// the slice with the still-serving base is safe; the atomic rowBuilt load
+// orders this read after the base's builder finished writing.
+func newRepairedSnapshot(version uint64, g *cliqueapsp.Graph, res *cliqueapsp.Result, cnt *counters, base *snapshot, reuse []bool) *snapshot {
+	s := newSnapshot(version, g, res, cnt)
+	if base == nil || base.rowBuilt == nil || base.n != s.n || len(reuse) != s.n {
+		return s
+	}
+	for u := 0; u < s.n; u++ {
+		if reuse[u] && base.rowBuilt[u].Load() {
+			s.rows[u] = base.rows[u]
+			// Consuming the Once here is safe: s is not yet published, so
+			// this goroutine is its only user.
+			s.rowOnce[u].Do(func() {})
+			s.rowBuilt[u].Store(true)
+		}
+	}
+	return s
 }
 
 // newColdSnapshot wraps a tier.Reader as a serving snapshot: provenance
@@ -141,6 +172,7 @@ func (s *snapshot) row(u int) []int {
 			panic(fmt.Sprintf("oracle: next-hop row %d: %v", u, err))
 		}
 		s.rows[u] = r
+		s.rowBuilt[u].Store(true)
 		s.cnt.rowsBuilt.Add(1)
 	})
 	if hit {

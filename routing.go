@@ -336,6 +336,33 @@ func adjacency(g *Graph) [][]wArc {
 	return adj
 }
 
+// ReusableNextHopSources reports, per source, whether a next-hop row
+// memoized against a pre-repair snapshot is still byte-identical after an
+// edge-delta repair of the distance matrix. A source's next-hop row depends
+// only on its own adjacency and its neighbours' distance rows (see
+// nextHopInto), so the row survives exactly when the source is not an
+// endpoint of any changed edge (touched) and no out-neighbour's distance
+// row changed (changedRow). g is the post-delta graph; for an untouched
+// source its adjacency there equals the pre-delta one.
+func ReusableNextHopSources(g *Graph, touched map[int]bool, changedRow []bool) []bool {
+	n := g.N()
+	ok := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if touched[u] {
+			continue
+		}
+		keep := true
+		for _, a := range g.inner.Out(u) {
+			if a.To < len(changedRow) && changedRow[a.To] {
+				keep = false
+				break
+			}
+		}
+		ok[u] = keep
+	}
+	return ok
+}
+
 // arcsOf returns node u's incident arcs without materializing the full edge
 // list (the graph stores both directions of every undirected edge).
 func arcsOf(g *Graph, u int) []wArc {

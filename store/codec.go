@@ -15,7 +15,13 @@ import (
 // FormatVersion is the codec's current on-disk format. Decode accepts
 // exactly the formats it knows how to parse and rejects newer ones with
 // ErrFormat, so a rolled-back binary never misreads a newer fleet's files.
-const FormatVersion uint16 = 1
+//
+// Format 2 added the incremental-repair provenance (base version + delta
+// count) after the flags word; format-1 files decode with both zero.
+const FormatVersion uint16 = 2
+
+// formatV1 is the pre-repair-provenance layout, still accepted on decode.
+const formatV1 uint16 = 1
 
 // MaxNodes bounds the graph size the codec accepts in either direction: a
 // decoded header is untrusted input, and n drives an n² allocation, so a
@@ -41,6 +47,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 //	magic [6]byte | format uint16
 //	version uint64 | seed uint64 | factorBound float64 | eps float64
 //	flags uint32 (bit 0: seed pinned)
+//	baseVersion uint64 | deltaCount uint32   (format ≥ 2 only)
 //	len uint16 + algorithm | len uint16 + engine
 //	n uint32 | m uint32
 //	m × edge (u uint32, v uint32, w uint64)
@@ -68,6 +75,9 @@ func Encode(w io.Writer, s *Snapshot) error {
 	if len(s.Algorithm) > maxNameLen || len(s.Engine) > maxNameLen {
 		return fmt.Errorf("store: provenance string over %d bytes", maxNameLen)
 	}
+	if s.DeltaCount < 0 || int64(s.DeltaCount) > math.MaxUint32 {
+		return fmt.Errorf("store: delta count %d outside [0,2³²)", s.DeltaCount)
+	}
 
 	h := crc32.New(castagnoli)
 	bw := bufio.NewWriterSize(io.MultiWriter(h, w), 1<<16)
@@ -84,6 +94,8 @@ func Encode(w io.Writer, s *Snapshot) error {
 		flags |= flagSeedPinned
 	}
 	enc.u32(flags)
+	enc.u64(s.BaseVersion)
+	enc.u32(uint32(s.DeltaCount))
 	enc.str(s.Algorithm)
 	enc.str(s.Engine)
 
@@ -123,7 +135,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	dec := &decoder{r: io.TeeReader(br, h)}
 
-	s, n, m, err := decodeHeader(dec)
+	s, n, m, _, err := decodeHeader(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -159,22 +171,23 @@ func Decode(r io.Reader) (*Snapshot, error) {
 // decodeHeader reads the fixed snapshot prefix — magic, format, provenance,
 // and the n/m counts — validating each field as untrusted input. The graph
 // is allocated (empty) so the edge block can stream straight into it. It is
-// shared by Decode and by the layout scan that rebuilds row-index sidecars.
-func decodeHeader(dec *decoder) (*Snapshot, int, int, error) {
+// shared by Decode and by the layout scan that rebuilds row-index sidecars,
+// which needs the format back to compute the row offsets.
+func decodeHeader(dec *decoder) (*Snapshot, int, int, uint16, error) {
 	var m6 [6]byte
 	dec.bytes(m6[:])
 	if dec.err != nil {
-		return nil, 0, 0, corrupt("reading magic: %v", dec.err)
+		return nil, 0, 0, 0, corrupt("reading magic: %v", dec.err)
 	}
 	if m6 != magic {
-		return nil, 0, 0, corrupt("bad magic %q", m6[:])
+		return nil, 0, 0, 0, corrupt("bad magic %q", m6[:])
 	}
 	format := dec.u16()
 	if dec.err != nil {
-		return nil, 0, 0, corrupt("reading format: %v", dec.err)
+		return nil, 0, 0, 0, corrupt("reading format: %v", dec.err)
 	}
-	if format != FormatVersion {
-		return nil, 0, 0, fmt.Errorf("%w: version %d (this build reads %d)", ErrFormat, format, FormatVersion)
+	if format != formatV1 && format != FormatVersion {
+		return nil, 0, 0, 0, fmt.Errorf("%w: version %d (this build reads %d..%d)", ErrFormat, format, formatV1, FormatVersion)
 	}
 
 	s := &Snapshot{}
@@ -184,21 +197,25 @@ func decodeHeader(dec *decoder) (*Snapshot, int, int, error) {
 	s.Eps = dec.f64()
 	flags := dec.u32()
 	s.SeedPinned = flags&flagSeedPinned != 0
+	if format >= 2 {
+		s.BaseVersion = dec.u64()
+		s.DeltaCount = int(dec.u32())
+	}
 	s.Algorithm = dec.str()
 	s.Engine = dec.str()
 	n := int(dec.u32())
 	m := int(dec.u32())
 	if dec.err != nil {
-		return nil, 0, 0, corrupt("reading header: %v", dec.err)
+		return nil, 0, 0, 0, corrupt("reading header: %v", dec.err)
 	}
 	if n < 1 || n > MaxNodes {
-		return nil, 0, 0, corrupt("node count %d outside [1,%d]", n, MaxNodes)
+		return nil, 0, 0, 0, corrupt("node count %d outside [1,%d]", n, MaxNodes)
 	}
 	if m < 0 || m > n*n {
-		return nil, 0, 0, corrupt("edge count %d impossible for n=%d", m, n)
+		return nil, 0, 0, 0, corrupt("edge count %d impossible for n=%d", m, n)
 	}
 	s.Graph = cliqueapsp.NewGraph(n)
-	return s, n, m, nil
+	return s, n, m, format, nil
 }
 
 // decodeEdges streams the m-edge block into s.Graph.

@@ -108,6 +108,56 @@ func TestCodecRoundTripUnreachableAndZeroWeights(t *testing.T) {
 	}
 }
 
+// TestCodecRoundTripRepairProvenance: the format-2 fields — the base version
+// a repaired snapshot was patched from and its delta count — survive the trip.
+func TestCodecRoundTripRepairProvenance(t *testing.T) {
+	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(12, 9, 1), 42)
+	snap.BaseVersion = 41
+	snap.DeltaCount = 3
+	got, err := store.Decode(bytes.NewReader(encodeToBytes(t, snap)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseVersion != 41 || got.DeltaCount != 3 {
+		t.Fatalf("repair provenance (%d, %d) after round trip, want (41, 3)", got.BaseVersion, got.DeltaCount)
+	}
+	snap.DeltaCount = -1
+	if err := store.Encode(&bytes.Buffer{}, snap); err == nil {
+		t.Fatal("negative delta count encoded")
+	}
+}
+
+// TestDecodeFormatV1Compat: files written by the pre-repair codec (format 1,
+// no provenance block) must still decode, with zero repair provenance. The v1
+// bytes are reconstructed from the v2 encoding by dropping the 12-byte
+// provenance block and restamping format and checksum.
+func TestDecodeFormatV1Compat(t *testing.T) {
+	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(12, 9, 1), 7)
+	raw := encodeToBytes(t, snap)
+	// Layout prefix: magic(6) format(2) version(8) seed(8) factor(8) eps(8)
+	// flags(4) — the format-2 provenance block sits at [44:56).
+	const provOff = 6 + 2 + 8 + 8 + 8 + 8 + 4
+	v1 := append([]byte(nil), raw[:provOff]...)
+	v1 = append(v1, raw[provOff+12:len(raw)-4]...)
+	binary.LittleEndian.PutUint16(v1[6:8], 1)
+	sum := crc32.Checksum(v1, crc32.MakeTable(crc32.Castagnoli))
+	v1 = binary.LittleEndian.AppendUint32(v1, sum)
+
+	got, err := store.Decode(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("format-1 decode: %v", err)
+	}
+	if got.Version != 7 || got.Algorithm != snap.Algorithm || got.Seed != snap.Seed {
+		t.Fatalf("format-1 provenance %+v does not match", got)
+	}
+	if got.BaseVersion != 0 || got.DeltaCount != 0 {
+		t.Fatalf("format-1 repair provenance (%d, %d), want zeros", got.BaseVersion, got.DeltaCount)
+	}
+	if !sameDistances(got.Distances, snap.Distances) {
+		t.Fatal("format-1 distances differ")
+	}
+}
+
 func TestDecodeTruncated(t *testing.T) {
 	snap := buildSnapshot(t, cliqueapsp.AlgExact, cliqueapsp.RandomGraph(12, 9, 1), 1)
 	raw := encodeToBytes(t, snap)

@@ -13,7 +13,14 @@ import (
 // IndexFormatVersion is the row-index sidecar's on-disk format. Like the
 // snapshot codec, the reader accepts exactly the formats it knows and
 // rejects newer ones with ErrFormat.
-const IndexFormatVersion uint16 = 1
+//
+// Sidecar format 2 mirrors snapshot format 2: it adds the repair
+// provenance (base version + delta count) and records which snapshot
+// format the indexed file uses, so the layout arithmetic stays checkable.
+const IndexFormatVersion uint16 = 2
+
+// idxFormatV1 is the pre-repair-provenance sidecar, still accepted.
+const idxFormatV1 uint16 = 1
 
 // idxMagic identifies a row-index sidecar file.
 var idxMagic = [6]byte{'C', 'C', 'R', 'I', 'D', 'X'}
@@ -41,6 +48,15 @@ type RowIndex struct {
 	N           int
 	M           int
 
+	// BaseVersion and DeltaCount mirror the snapshot's incremental-repair
+	// provenance (0, 0 for from-scratch builds and format-1 files).
+	BaseVersion uint64
+	DeltaCount  int
+
+	// Format is the snapshot file's codec format — the layout arithmetic
+	// depends on it, because format 2 headers are 12 bytes longer.
+	Format uint16
+
 	// RowOffset is the byte offset of row 0 in the snapshot file, RowWidth
 	// the byte length of each row (8n), and Size the total expected file
 	// size including the 4-byte checksum trailer.
@@ -56,10 +72,15 @@ func (ix *RowIndex) EdgesOffset() int64 { return ix.RowOffset - 16*int64(ix.M) }
 
 // layoutFor computes the row layout from header fields. Mirrors Encode's
 // byte layout exactly: 6 magic + 2 format + 8 version + 8 seed + 8 factor +
-// 8 eps + 4 flags + (2+len) per provenance string + 4 n + 4 m, then 16·m of
-// edges, then the rows, then the 4-byte trailer.
-func layoutFor(alg, engine string, n, m int) (rowOffset, rowWidth, size int64) {
-	rowOffset = 56 + int64(len(alg)) + int64(len(engine)) + 16*int64(m)
+// 8 eps + 4 flags (+ 8 baseVersion + 4 deltaCount in format ≥ 2) + (2+len)
+// per provenance string + 4 n + 4 m, then 16·m of edges, then the rows,
+// then the 4-byte trailer.
+func layoutFor(format uint16, alg, engine string, n, m int) (rowOffset, rowWidth, size int64) {
+	header := int64(56)
+	if format >= 2 {
+		header += 12
+	}
+	rowOffset = header + int64(len(alg)) + int64(len(engine)) + 16*int64(m)
 	rowWidth = 8 * int64(n)
 	size = rowOffset + rowWidth*int64(n) + 4
 	return rowOffset, rowWidth, size
@@ -81,8 +102,11 @@ func IndexOf(s *Snapshot) (*RowIndex, error) {
 		Engine:      s.Engine,
 		N:           n,
 		M:           m,
+		BaseVersion: s.BaseVersion,
+		DeltaCount:  s.DeltaCount,
+		Format:      FormatVersion,
 	}
-	ix.RowOffset, ix.RowWidth, ix.Size = layoutFor(s.Algorithm, s.Engine, n, m)
+	ix.RowOffset, ix.RowWidth, ix.Size = layoutFor(FormatVersion, s.Algorithm, s.Engine, n, m)
 	return ix, nil
 }
 
@@ -92,7 +116,7 @@ func IndexOf(s *Snapshot) (*RowIndex, error) {
 // sidecars or whose sidecar was lost or corrupted.
 func DecodeLayout(r io.Reader) (*RowIndex, error) {
 	dec := &decoder{r: bufio.NewReaderSize(r, 1<<12)}
-	s, n, m, err := decodeHeader(dec)
+	s, n, m, format, err := decodeHeader(dec)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +130,11 @@ func DecodeLayout(r io.Reader) (*RowIndex, error) {
 		Engine:      s.Engine,
 		N:           n,
 		M:           m,
+		BaseVersion: s.BaseVersion,
+		DeltaCount:  s.DeltaCount,
+		Format:      format,
 	}
-	ix.RowOffset, ix.RowWidth, ix.Size = layoutFor(s.Algorithm, s.Engine, n, m)
+	ix.RowOffset, ix.RowWidth, ix.Size = layoutFor(format, s.Algorithm, s.Engine, n, m)
 	return ix, nil
 }
 
@@ -135,6 +162,7 @@ func DecodeEdgeBlock(r io.Reader, n, m int) (*cliqueapsp.Graph, error) {
 //	idxMagic [6]byte | format uint16
 //	version uint64 | seed uint64 | factorBound float64 | eps float64
 //	flags uint32 (bit 0: seed pinned)
+//	baseVersion uint64 | deltaCount uint32 | snapFormat uint16  (format ≥ 2)
 //	len uint16 + algorithm | len uint16 + engine
 //	n uint32 | m uint32
 //	rowOffset uint64 | rowWidth uint64 | size uint64
@@ -163,6 +191,9 @@ func EncodeIndex(w io.Writer, ix *RowIndex) error {
 		flags |= flagSeedPinned
 	}
 	enc.u32(flags)
+	enc.u64(ix.BaseVersion)
+	enc.u32(uint32(ix.DeltaCount))
+	enc.u16(ix.Format)
 	enc.str(ix.Algorithm)
 	enc.str(ix.Engine)
 	enc.u32(uint32(ix.N))
@@ -204,8 +235,8 @@ func DecodeIndex(r io.Reader) (*RowIndex, error) {
 	if dec.err != nil {
 		return nil, corrupt("reading index format: %v", dec.err)
 	}
-	if format != IndexFormatVersion {
-		return nil, fmt.Errorf("%w: index version %d (this build reads %d)", ErrFormat, format, IndexFormatVersion)
+	if format != idxFormatV1 && format != IndexFormatVersion {
+		return nil, fmt.Errorf("%w: index version %d (this build reads %d..%d)", ErrFormat, format, idxFormatV1, IndexFormatVersion)
 	}
 
 	ix := &RowIndex{}
@@ -215,6 +246,15 @@ func DecodeIndex(r io.Reader) (*RowIndex, error) {
 	ix.Eps = dec.f64()
 	flags := dec.u32()
 	ix.SeedPinned = flags&flagSeedPinned != 0
+	if format >= 2 {
+		ix.BaseVersion = dec.u64()
+		ix.DeltaCount = int(dec.u32())
+		ix.Format = dec.u16()
+	} else {
+		// A v1 sidecar was written for a v1 snapshot, before repair
+		// provenance existed.
+		ix.Format = formatV1
+	}
 	ix.Algorithm = dec.str()
 	ix.Engine = dec.str()
 	ix.N = int(dec.u32())
@@ -241,7 +281,10 @@ func DecodeIndex(r io.Reader) (*RowIndex, error) {
 	if ix.M < 0 || ix.M > ix.N*ix.N {
 		return nil, corrupt("index edge count %d impossible for n=%d", ix.M, ix.N)
 	}
-	off, width, size := layoutFor(ix.Algorithm, ix.Engine, ix.N, ix.M)
+	if ix.Format != formatV1 && ix.Format != FormatVersion {
+		return nil, corrupt("index names unknown snapshot format %d", ix.Format)
+	}
+	off, width, size := layoutFor(ix.Format, ix.Algorithm, ix.Engine, ix.N, ix.M)
 	if ix.RowOffset != off || ix.RowWidth != width || ix.Size != size {
 		return nil, corrupt("index layout (%d,%d,%d) disagrees with its header (%d,%d,%d)",
 			ix.RowOffset, ix.RowWidth, ix.Size, off, width, size)

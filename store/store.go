@@ -63,6 +63,11 @@ type Snapshot struct {
 	SeedPinned bool
 	// Engine is the cliqueapsp.EngineVersion stamp of the build.
 	Engine string
+	// BaseVersion and DeltaCount record incremental-repair provenance: a
+	// repaired snapshot names the full build it descends from and how many
+	// edge deltas were folded in; a from-scratch build carries (0, 0).
+	BaseVersion uint64
+	DeltaCount  int
 	// Graph is the input graph (needed to route Path queries on restore).
 	Graph *cliqueapsp.Graph
 	// Distances is the published estimate.
